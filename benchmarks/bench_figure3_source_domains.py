@@ -1,0 +1,11 @@
+"""Benchmark: regenerate paper Figure 3 (ADE vs number of source domains)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import figure3_source_domains
+
+
+def test_figure3_source_domains(regenerate):
+    result = regenerate(figure3_source_domains, BENCH_SCALE)
+    assert len(result.series) == 2
+    for points in result.series.values():
+        assert len(points) == 4

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate paper Figure 4 (hyperparameter sensitivity, a-f)."""
+
+import os
+
+from benchmarks.conftest import BENCH_SCALE, RESULTS_DIR
+from repro.experiments import figure4_sensitivity
+
+#: Figure 4 sweeps 6 hyperparameters x 3 values x 2 backbones = 36 training
+#: runs; restrict the benchmark run to PECNet unless overridden.
+BACKBONES = tuple(
+    os.environ.get("REPRO_FIG4_BACKBONES", "pecnet").split(",")
+)
+
+
+def test_figure4_sensitivity(regenerate):
+    def run():
+        return figure4_sensitivity(BENCH_SCALE, backbones=BACKBONES)
+
+    figures = regenerate(run)
+    assert set(figures) == {
+        "delta", "start_fraction", "end_fraction", "sigma", "f_low", "f_high",
+    }
+    for figure in figures.values():
+        text = figure.save(RESULTS_DIR)
+        print("\n" + text)

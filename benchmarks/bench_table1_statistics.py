@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table I (dataset statistics)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table1_dataset_statistics
+
+
+def test_table1_dataset_statistics(regenerate):
+    result = regenerate(table1_dataset_statistics, BENCH_SCALE)
+    assert len(result.rows) == 4

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table II (cross-domain performance decline)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table2_domain_shift
+
+
+def test_table2_domain_shift(regenerate):
+    result = regenerate(table2_domain_shift, BENCH_SCALE)
+    assert len(result.rows) == 2

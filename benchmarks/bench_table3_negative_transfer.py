@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table III (negative transfer)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table3_negative_transfer
+
+
+def test_table3_negative_transfer(regenerate):
+    result = regenerate(table3_negative_transfer, BENCH_SCALE)
+    assert len(result.rows) == 3

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table IV (main multi-source comparison)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table4_main_comparison
+
+
+def test_table4_main_comparison(regenerate):
+    result = regenerate(table4_main_comparison, BENCH_SCALE)
+    assert len(result.rows) == 8  # 2 backbones x 4 methods

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table V (single-source domain generalization)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table5_single_source
+
+
+def test_table5_single_source(regenerate):
+    result = regenerate(table5_single_source, BENCH_SCALE)
+    assert len(result.rows) == 8

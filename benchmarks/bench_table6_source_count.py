@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table VI (source-domain count sweep)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table6_source_count
+
+
+def test_table6_source_count(regenerate):
+    result = regenerate(table6_source_count, BENCH_SCALE)
+    assert len(result.rows) == 6

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate paper Table VII (ablation study)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table7_ablation
+
+
+def test_table7_ablation(regenerate):
+    result = regenerate(table7_ablation, BENCH_SCALE)
+    assert len(result.rows) == 6  # 2 backbones x 3 variants

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Table VIII (inference time)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import table8_inference_time
+
+
+def test_table8_inference_time(regenerate):
+    result = regenerate(table8_inference_time, BENCH_SCALE)
+    assert len(result.rows) == 8
+    times = {(r[0], r[1]): float(r[2]) for r in result.rows}
+    # The paper's latency shape: LBEBM is an order slower than PECNet.
+    assert times[("lbebm", "vanilla")] > times[("pecnet", "vanilla")]

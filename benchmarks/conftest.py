@@ -1,0 +1,34 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one paper table or figure at the ``tiny``
+experiment scale (see ``repro.experiments.scales``), times the full
+regeneration via pytest-benchmark (single round — these are minutes-long
+macro benchmarks, not micro benchmarks), and writes the rendered output
+under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Scale used by the benchmark suite; override with REPRO_BENCH_SCALE=small.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run ``fn`` once under pytest-benchmark and save its result."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        saved = getattr(result, "save", None)
+        if callable(saved):
+            text = result.save(RESULTS_DIR)
+            print("\n" + text)
+        return result
+
+    return runner

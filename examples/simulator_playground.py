@@ -1,0 +1,62 @@
+"""Explore the social-force simulator: the synthetic stand-ins for Table I.
+
+Generates a recording for each of the four domain presets, prints the
+Table I-style statistics (crowd density, per-axis velocity/acceleration),
+and renders one scene as ASCII art so the qualitative differences —
+horizontal corridor flow, slow indoor wandering, dense vertical concourse,
+open plaza — are visible at a glance.
+
+Run:  python examples/simulator_playground.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.metrics import compute_statistics
+from repro.sim import DOMAIN_NAMES, get_domain, simulate_scene
+
+
+def render_scene(scene, width=68, height=20, frame=None) -> str:
+    """ASCII snapshot of agent positions at ``frame`` (default: middle)."""
+    frame = frame if frame is not None else scene.num_frames // 2
+    positions = scene.positions_at(frame)
+    spec = get_domain(scene.domain).scenario
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in positions:
+        col = int(np.clip(x / max(spec.width, 1e-9) * (width - 1), 0, width - 1))
+        row = int(np.clip((1 - y / max(spec.height, 1e-9)) * (height - 1), 0, height - 1))
+        grid[row][col] = "o"
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def main() -> None:
+    headers = [
+        "Datasets", "# sequences", "Avg/Std num",
+        "Avg/Std v(x)", "Avg/Std v(y)", "Avg/Std a(x)", "Avg/Std a(y)",
+    ]
+    rows = []
+    scenes = {}
+    for i, name in enumerate(DOMAIN_NAMES):
+        scene = simulate_scene(name, num_frames=100, rng=100 + i)
+        scenes[name] = scene
+        stats = compute_statistics([scene]).as_row()
+        rows.append([name] + [stats[h] for h in headers[1:]])
+
+    print(format_table(headers, rows, title="Synthetic domains vs paper Table I"))
+    print(
+        "\nPaper Table I (for comparison): densities 9.1/7.9/35.2/17.8, "
+        "v(x) .279/.104/.306/.295, v(y) .090/.041/1.087/.187\n"
+    )
+
+    for name, scene in scenes.items():
+        print(f"\n{name} — {scene.num_agents} agents recorded, "
+              f"mid-recording snapshot:")
+        print(render_scene(scene))
+
+
+if __name__ == "__main__":
+    main()

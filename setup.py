@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline execution environment lacks the ``wheel`` package, which the
+PEP 660 editable-install path requires; ``pip install -e . --no-build-isolation
+--no-use-pep517`` falls back to ``setup.py develop`` and works offline.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

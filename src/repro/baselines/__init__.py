@@ -1,0 +1,72 @@
+"""``repro.baselines`` — learning methods compared against AdapTraj.
+
+``vanilla`` (the backbone as published), ``counter`` (counterfactual
+analysis, ICCV'21), and ``causal_motion`` (invariance-penalty learning,
+CVPR'22) — plus the factory :func:`build_method` used by the experiment
+harness, which also constructs ``adaptraj`` itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FitResult, LearningMethod
+from repro.baselines.causal_motion import CausalMotionMethod
+from repro.baselines.counter import CounterMethod, counterfactual_batch
+from repro.baselines.vanilla import VanillaMethod
+from repro.core.config import AdapTrajConfig, TrainConfig
+from repro.models import build_backbone
+
+__all__ = [
+    "CausalMotionMethod",
+    "CounterMethod",
+    "FitResult",
+    "LearningMethod",
+    "METHOD_NAMES",
+    "VanillaMethod",
+    "build_method",
+    "counterfactual_batch",
+]
+
+METHOD_NAMES = ("vanilla", "counter", "causal_motion", "adaptraj")
+
+
+def build_method(
+    method: str,
+    backbone: str,
+    num_domains: int,
+    train_config: TrainConfig | None = None,
+    adaptraj_config: AdapTrajConfig | None = None,
+    variant: str = "full",
+    rng: np.random.Generator | int | None = None,
+    **backbone_kwargs,
+) -> LearningMethod:
+    """Construct a learning method around a freshly-built backbone.
+
+    ``backbone`` is ``"pecnet"`` or ``"lbebm"``; ``method`` one of
+    :data:`METHOD_NAMES`.  All backbones are built with the AdapTraj context
+    width so architectures are identical across methods (non-AdapTraj
+    methods feed zeros), keeping the comparison fair.
+    """
+    adaptraj_config = adaptraj_config or AdapTrajConfig()
+    net = build_backbone(
+        backbone, rng=rng, context_size=adaptraj_config.context_size, **backbone_kwargs
+    )
+    method = method.lower()
+    if method == "vanilla":
+        return VanillaMethod(net, train_config)
+    if method == "counter":
+        return CounterMethod(net, train_config)
+    if method in ("causal_motion", "causalmotion"):
+        return CausalMotionMethod(net, train_config)
+    if method == "adaptraj":
+        # Imported lazily: core.trainer builds on baselines.base, so a
+        # module-level import here would be circular.
+        from repro.core.adaptraj import AdapTrajModel
+        from repro.core.trainer import AdapTrajMethod
+
+        model = AdapTrajModel(
+            net, num_domains=num_domains, config=adaptraj_config, variant=variant, rng=rng
+        )
+        return AdapTrajMethod(model, train_config)
+    raise ValueError(f"unknown method {method!r}; available: {METHOD_NAMES}")

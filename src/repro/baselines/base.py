@@ -1,0 +1,10 @@
+"""Re-exports of the learning-method abstraction.
+
+The implementation lives in :mod:`repro.core.method` so that both the
+AdapTraj trainer (``repro.core.trainer``) and the baselines can depend on it
+without a package-level import cycle.
+"""
+
+from repro.core.method import FitResult, LearningMethod
+
+__all__ = ["FitResult", "LearningMethod"]

@@ -1,0 +1,112 @@
+"""Counter baseline (Chen et al., ICCV 2021): counterfactual analysis.
+
+Counter explores the causality between predicted trajectories and input
+clues and "alleviates the negative effects brought by the environment bias,
+i.e., removes the dependence of external factors" (AdapTraj Sec. IV-A2).
+Concretely it serves the *causal* part of the prediction:
+
+    Y_causal = F(X, E) - F(X_mean, E)
+
+where ``X_mean`` is the counterfactual past — following the original paper,
+the **mean trajectory of the training set** (maintained here as a running
+average over training batches).  The counterfactual prediction captures what
+the model outputs from the environment context plus an average past, and
+subtracting it removes that clue-independent / external-factor dependence.
+Training supervises ``Y_causal``.
+
+Why this degrades under domain shift (the AdapTraj paper's Tables II–V):
+the counterfactual reference is calibrated on the *source* domains — its
+mean past encodes source-typical speeds and headings.  On an unseen target
+domain the subtracted term removes the wrong bias and discards "reasonable
+influences hidden in external factors", so Counter underperforms vanilla,
+increasingly so as more heterogeneous sources are mixed (negative
+transfer, Table III).
+
+Implementation notes: batches are normalized so the last observed position
+is the origin, making the running-mean past well-defined across scenes.
+The backbone's auxiliary losses (VAE KL, endpoint, EBM terms) are kept so
+its internals remain trained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import LearningMethod
+from repro.core.config import TrainConfig
+from repro.data.dataset import Batch
+from repro.models.base import TrajectoryBackbone
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+__all__ = ["CounterMethod", "counterfactual_batch"]
+
+
+def counterfactual_batch(batch: Batch, mean_obs: np.ndarray) -> Batch:
+    """Replace every focal past with the (source-estimated) mean trajectory."""
+    if mean_obs.shape != batch.obs.shape[1:]:
+        raise ValueError(
+            f"mean_obs shape {mean_obs.shape} != window shape {batch.obs.shape[1:]}"
+        )
+    return Batch(
+        obs=np.broadcast_to(mean_obs, batch.obs.shape).copy(),
+        future=batch.future,
+        neighbours=batch.neighbours,
+        neighbour_mask=batch.neighbour_mask,
+        domain_ids=batch.domain_ids,
+        origins=batch.origins,
+    )
+
+
+class CounterMethod(LearningMethod):
+    """Counterfactual-analysis learning method."""
+
+    name = "counter"
+
+    def __init__(
+        self,
+        backbone: TrajectoryBackbone,
+        config: TrainConfig | None = None,
+        mean_momentum: float = 0.9,
+    ) -> None:
+        super().__init__(backbone, config)
+        if not 0.0 <= mean_momentum < 1.0:
+            raise ValueError(f"mean_momentum must be in [0, 1), got {mean_momentum}")
+        self.mean_momentum = mean_momentum
+        # Running mean of the normalized observed window (the counterfactual
+        # "mean trajectory"); starts at the stationary window.
+        self.mean_obs = np.zeros((backbone.obs_len, 2))
+        self._mean_initialized = False
+
+    def _update_mean(self, batch: Batch) -> None:
+        batch_mean = batch.obs.mean(axis=0)
+        if not self._mean_initialized:
+            self.mean_obs = batch_mean
+            self._mean_initialized = True
+        else:
+            m = self.mean_momentum
+            self.mean_obs = m * self.mean_obs + (1.0 - m) * batch_mean
+
+    def training_step(self, batch: Batch) -> Tensor:
+        self._update_mean(batch)
+        encoding = self.backbone.encode(batch)
+        output = self.backbone.compute_loss(encoding, batch, None, self.rng)
+
+        cf = counterfactual_batch(batch, self.mean_obs)
+        cf_encoding = self.backbone.encode(cf)
+        cf_prediction = self.backbone.decode(cf_encoding, cf, None, self.rng)
+
+        # Only the *causal* (factual minus counterfactual) trajectory is
+        # supervised, as in the original method; the backbone's auxiliary
+        # terms are kept as-is.
+        causal = output.prediction - cf_prediction
+        causal_loss = F.mse_loss(causal, Tensor(batch.future))
+        return causal_loss + output.aux_loss
+
+    def predict_samples(
+        self, batch: Batch, num_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        factual = self.backbone.predict(batch, rng=rng, num_samples=num_samples)
+        cf = counterfactual_batch(batch, self.mean_obs)
+        counterfactual = self.backbone.predict(cf, rng=rng, num_samples=num_samples)
+        return factual - counterfactual

@@ -1,0 +1,39 @@
+"""``repro.core`` — the AdapTraj framework (the paper's primary contribution).
+
+Domain-invariant/specific extractors, the domain-specific aggregator with
+teacher–student masking, the framework losses (SIMSE reconstruction,
+orthogonality difference, domain-adversarial similarity), and the three-step
+training procedure of Alg. 1.
+"""
+
+from repro.core.adaptraj import AdapTrajModel, TrainingTerms, VARIANTS
+from repro.core.aggregator import DomainSpecificAggregator
+from repro.core.config import AdapTrajConfig, TrainConfig
+from repro.core.extractors import (
+    DomainClassifier,
+    DomainInvariantExtractor,
+    DomainSpecificExtractor,
+    ReconstructionDecoder,
+)
+from repro.core.method import FitResult, LearningMethod
+from repro.core.losses import difference_loss, domain_adversarial_loss, simse_loss
+from repro.core.trainer import AdapTrajMethod
+
+__all__ = [
+    "AdapTrajConfig",
+    "AdapTrajMethod",
+    "AdapTrajModel",
+    "DomainClassifier",
+    "DomainInvariantExtractor",
+    "DomainSpecificAggregator",
+    "DomainSpecificExtractor",
+    "FitResult",
+    "LearningMethod",
+    "ReconstructionDecoder",
+    "TrainConfig",
+    "TrainingTerms",
+    "VARIANTS",
+    "difference_loss",
+    "domain_adversarial_loss",
+    "simse_loss",
+]

@@ -1,0 +1,273 @@
+"""The AdapTraj model: plug-and-play DG wrapper around a backbone (Sec. III).
+
+``AdapTrajModel`` owns a :class:`~repro.models.base.TrajectoryBackbone` plus
+the three AdapTraj components (domain-invariant extractor, domain-specific
+extractor, domain-specific aggregator) and the two auxiliary heads
+(reconstruction decoder, domain classifier).  The backbone's future-trajectory
+generator is conditioned on the concatenated fused features ``[H^i, H^s]``
+through its ``context`` input.
+
+Feature routing
+---------------
+* **Training, step 1** — specific features come from each sample's *own*
+  domain expert (teacher).
+* **Training, steps 2–3** — with probability ``sigma`` the batch's domain is
+  masked: its expert is excluded from the expert pool and the *aggregator*
+  (student) produces the specific features instead.
+* **Inference** — the target domain is unseen, so the aggregator pools all
+  experts (Eq. 21–22, Fig. 2 step 3).
+
+Ablations (Table VII) are expressed as ``variant``:
+``"full"`` (ours), ``"no_specific"`` (H^s zeroed, specific losses dropped),
+``"no_invariant"`` (H^i zeroed, invariant kept out of the context).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.aggregator import DomainSpecificAggregator
+from repro.core.config import AdapTrajConfig
+from repro.core.extractors import (
+    DomainClassifier,
+    DomainInvariantExtractor,
+    DomainSpecificExtractor,
+    ReconstructionDecoder,
+)
+from repro.core.losses import difference_loss, domain_adversarial_loss, simse_loss
+from repro.data.dataset import Batch
+from repro.models.base import BackboneEncoding, TrajectoryBackbone
+from repro.nn import Module, Parameter, Tensor, cat
+from repro.utils.seeding import new_rng
+
+__all__ = ["AdapTrajModel", "TrainingTerms", "VARIANTS"]
+
+VARIANTS = ("full", "no_specific", "no_invariant")
+
+
+@dataclass
+class TrainingTerms:
+    """Decomposed training losses for logging and tests."""
+
+    total: Tensor
+    base: float
+    recon: float
+    diff: float
+    similar: float
+    distill: float = 0.0
+    backbone_terms: dict[str, float] = field(default_factory=dict)
+
+
+class AdapTrajModel(Module):
+    """AdapTraj = backbone + invariant/specific extractors + aggregator."""
+
+    def __init__(
+        self,
+        backbone: TrajectoryBackbone,
+        num_domains: int,
+        config: AdapTrajConfig | None = None,
+        variant: str = "full",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        config = config or AdapTrajConfig()
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        if backbone.context_size != config.context_size:
+            raise ValueError(
+                f"backbone context_size {backbone.context_size} != "
+                f"AdapTraj context size {config.context_size} (2 * feature_dim); "
+                "construct the backbone with context_size=config.context_size"
+            )
+        rng = new_rng(rng)
+        self.config = config
+        self.variant = variant
+        self.num_domains = num_domains
+        self.backbone = backbone
+        f = config.feature_dim
+        self.invariant = DomainInvariantExtractor(
+            backbone.hidden_size, backbone.interaction_size, f, rng=rng
+        )
+        self.specific = DomainSpecificExtractor(
+            num_domains, backbone.hidden_size, backbone.interaction_size, f, rng=rng
+        )
+        self.aggregator = DomainSpecificAggregator(f, rng=rng)
+        self.recon_decoder = ReconstructionDecoder(f, backbone.obs_len, rng=rng)
+        self.classifier = DomainClassifier(f, num_domains, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Parameter groups for the three-phase optimizer schedule (Alg. 1)
+    # ------------------------------------------------------------------
+    def parameter_groups(self) -> dict[str, list[Parameter]]:
+        return {
+            "backbone": self.backbone.parameters(),
+            "invariant": (
+                self.invariant.parameters()
+                + self.recon_decoder.parameters()
+                + self.classifier.parameters()
+            ),
+            "specific": self.specific.parameters(),
+            "aggregator": self.aggregator.parameters(),
+        }
+
+    # ------------------------------------------------------------------
+    # Feature computation
+    # ------------------------------------------------------------------
+    def _zeros(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.config.feature_dim)))
+
+    def _specific_features(
+        self,
+        encoding: BackboneEncoding,
+        domain_ids: np.ndarray,
+        masked_domain: int | None,
+        use_aggregator: bool,
+    ) -> tuple[Tensor, Tensor, Tensor]:
+        """Return ``(H^s_i, H^s_Ei, L_distill)`` according to the routing rules.
+
+        ``L_distill`` is the teacher–student imitation loss of Sec. III-D:
+        when the batch's domain is masked, the aggregator (student) must
+        reproduce the held-out expert's (teacher's) features from the other
+        experts' pooled outputs.  It is zero when the aggregator is unused.
+        """
+        ind_all = self.specific.individual_all(encoding.h_ei)  # [K, B, f]
+        nei_all = self.specific.neighbour_all(encoding.p_i)
+        distill = Tensor(np.zeros(()))
+        if use_aggregator:
+            exclude = masked_domain
+            spec_i = self.aggregator.individual(
+                DomainSpecificAggregator.pool(ind_all, exclude)
+            )
+            spec_n = self.aggregator.neighbour(
+                DomainSpecificAggregator.pool(nei_all, exclude)
+            )
+            if masked_domain is not None and self.training:
+                teacher_i = DomainSpecificExtractor.select(ind_all, domain_ids).detach()
+                teacher_n = DomainSpecificExtractor.select(nei_all, domain_ids).detach()
+                diff_i = spec_i - teacher_i
+                diff_n = spec_n - teacher_n
+                distill = (diff_i * diff_i).mean() + (diff_n * diff_n).mean()
+        else:
+            spec_i = DomainSpecificExtractor.select(ind_all, domain_ids)
+            spec_n = DomainSpecificExtractor.select(nei_all, domain_ids)
+        return spec_i, spec_n, distill
+
+    def compute_features(
+        self,
+        encoding: BackboneEncoding,
+        domain_ids: np.ndarray,
+        masked_domain: int | None = None,
+        use_aggregator: bool = False,
+    ) -> dict[str, Tensor]:
+        """All four feature families plus fusions, honoring the variant.
+
+        The backbone encodings are detached at the extractor boundary: the
+        extractors and aggregator are trained by the auxiliary losses and by
+        the task loss flowing through the context, while the backbone encoder
+        itself is trained only by its own loss.  Letting the adversarial /
+        orthogonality gradients flow into the shared encoder destabilizes
+        small-scale training (the context then conditions the decoder on a
+        moving, adversarially-perturbed representation).
+        """
+        encoding = BackboneEncoding(
+            h_ei=encoding.h_ei.detach(), p_i=encoding.p_i.detach()
+        )
+        batch_size = encoding.h_ei.shape[0]
+        distill = Tensor(np.zeros(()))
+        if self.variant == "no_invariant":
+            inv_i = inv_n = h_i = self._zeros(batch_size)
+        else:
+            inv_i, inv_n, h_i = self.invariant(encoding.h_ei, encoding.p_i)
+        if self.variant == "no_specific":
+            spec_i = spec_n = h_s = self._zeros(batch_size)
+        else:
+            spec_i, spec_n, distill = self._specific_features(
+                encoding, domain_ids, masked_domain, use_aggregator
+            )
+            h_s = self.specific.fuse(spec_i, spec_n)
+        return {
+            "inv_i": inv_i,
+            "inv_n": inv_n,
+            "spec_i": spec_i,
+            "spec_n": spec_n,
+            "h_i": h_i,
+            "h_s": h_s,
+            "distill": distill,
+            "context": cat([h_i, h_s], axis=-1),
+        }
+
+    # ------------------------------------------------------------------
+    # Training / inference entry points
+    # ------------------------------------------------------------------
+    def training_forward(
+        self,
+        batch: Batch,
+        rng: np.random.Generator,
+        delta: float,
+        masked_domain: int | None = None,
+        use_aggregator: bool = False,
+    ) -> TrainingTerms:
+        """One training forward pass: ``L_total = L_base + delta * L_ours``."""
+        encoding = self.backbone.encode(batch)
+        feats = self.compute_features(
+            encoding, batch.domain_ids, masked_domain, use_aggregator
+        )
+        output = self.backbone.compute_loss(encoding, batch, feats["context"], rng)
+
+        cfg = self.config
+        obs_flat = batch.obs.reshape(batch.size, -1)
+        reconstruction = self.recon_decoder(feats["inv_i"], feats["spec_i"])
+        l_recon = simse_loss(obs_flat, reconstruction)
+        if self.variant == "full":
+            l_diff = difference_loss(feats["inv_i"], feats["spec_i"]) + difference_loss(
+                feats["inv_n"], feats["spec_n"]
+            )
+        else:
+            l_diff = Tensor(np.zeros(()))
+        l_similar = domain_adversarial_loss(
+            self.classifier,
+            feats["inv_i"],
+            feats["inv_n"],
+            feats["spec_i"],
+            feats["spec_n"],
+            batch.domain_ids,
+        )
+        l_ours = cfg.alpha * l_recon + cfg.beta * l_diff + cfg.gamma * l_similar
+        l_distill = feats["distill"]
+        # Teacher-student alignment is kept outside delta: phases 2-3 run with
+        # the reduced delta' yet are exactly when the aggregator must learn.
+        total = output.loss + delta * l_ours + cfg.distill_weight * l_distill
+        return TrainingTerms(
+            total=total,
+            base=output.loss.item(),
+            recon=l_recon.item(),
+            diff=l_diff.item(),
+            similar=l_similar.item(),
+            distill=l_distill.item(),
+            backbone_terms=output.terms,
+        )
+
+    def inference_context(self, encoding: BackboneEncoding) -> Tensor:
+        """Context for unseen-domain prediction (Fig. 2, step 3 path)."""
+        batch_size = encoding.h_ei.shape[0]
+        dummy_ids = np.zeros(batch_size, dtype=np.int64)
+        feats = self.compute_features(
+            encoding, dummy_ids, masked_domain=None, use_aggregator=True
+        )
+        return feats["context"]
+
+    def predict(
+        self,
+        batch: Batch,
+        num_samples: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Sampled futures for an unseen-domain batch: ``[K, B, pred_len, 2]``."""
+        return self.backbone.predict(
+            batch,
+            context_fn=self.inference_context,
+            rng=new_rng(rng),
+            num_samples=num_samples,
+        )

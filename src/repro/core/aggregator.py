@@ -1,0 +1,68 @@
+"""Domain-specific aggregator (paper Sec. III-D, Eq. 21–22).
+
+At inference time the target domain is unseen, so no per-domain expert
+matches it.  The aggregator is a *student* trained to produce useful
+domain-specific features from the pooled knowledge of all experts
+(*teachers*): ``H^s_i = A_ind( sum_k M^k_ind(x) )``.
+
+During training the test-time situation is simulated by masking the true
+domain's expert out of the sum with probability ``sigma`` (the paper's
+``D^k_S -> D^?_S``): the aggregator must then recover that domain's specific
+features from the *other* domains' experts only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import MLP, Module, Tensor
+from repro.utils.seeding import new_rng
+
+__all__ = ["DomainSpecificAggregator"]
+
+
+class DomainSpecificAggregator(Module):
+    """Student networks ``A_ind`` / ``A_nei`` over pooled expert outputs."""
+
+    def __init__(
+        self,
+        feature_dim: int,
+        hidden: int = 32,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.feature_dim = feature_dim
+        self.a_ind = MLP([feature_dim, hidden, feature_dim], rng=rng)
+        self.a_nei = MLP([feature_dim, hidden, feature_dim], rng=rng)
+
+    @staticmethod
+    def pool(expert_outputs: Tensor, exclude_domain: int | None = None) -> Tensor:
+        """Mean of expert outputs ``[K, batch, f]`` over K, optionally excluding one.
+
+        Excluding the sample's own domain simulates the unseen-domain regime
+        (Eq. 21's sum runs over the *accessible* source domains).  We use the
+        mean rather than the paper's literal sum so the pooled scale is
+        identical between training (K-1 accessible experts after masking) and
+        inference (all K experts) — with a sum the aggregator would see a
+        systematically larger input at test time.
+        """
+        k = expert_outputs.shape[0]
+        if exclude_domain is None:
+            return expert_outputs.mean(axis=0)
+        if not 0 <= exclude_domain < k:
+            raise ValueError(f"exclude_domain {exclude_domain} out of range [0, {k})")
+        if k == 1:
+            # Nothing left to pool — fall back to a zero signal so the
+            # aggregator learns from its own bias (single-source edge case).
+            return expert_outputs.mean(axis=0) * 0.0
+        keep = [i for i in range(k) if i != exclude_domain]
+        return expert_outputs[keep].mean(axis=0)
+
+    def individual(self, pooled: Tensor) -> Tensor:
+        """``H^s_i = A_ind(sum_k M^k_ind(X))`` (Eq. 21)."""
+        return self.a_ind(pooled)
+
+    def neighbour(self, pooled: Tensor) -> Tensor:
+        """``H^s_Ei = A_nei(sum_k M^k_nei(X))`` (Eq. 22)."""
+        return self.a_nei(pooled)

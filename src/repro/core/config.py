@@ -1,0 +1,92 @@
+"""Hyperparameter configuration for AdapTraj training (paper Alg. 1 & Sec. IV-A4).
+
+Paper defaults: ``alpha = 0.01``, ``beta = 0.075``, ``gamma = 0.25`` (Eq. 24),
+300 epochs, batch size 32.  The phase boundaries ``e_start`` / ``e_end`` and
+the masking ratio ``sigma`` plus learning-rate fractions ``f_low`` /
+``f_high`` are the Alg. 1 hyperparameters swept in Fig. 4; we store the phase
+boundaries as *fractions* of the total epochs so that scaled-down runs keep
+the paper's phase proportions (e.g. paper-scale ``e_start = 150`` of 300
+epochs -> 0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdapTrajConfig", "TrainConfig"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Generic training-loop settings shared by all learning methods."""
+
+    epochs: int = 30
+    batch_size: int = 32
+    learning_rate: float = 3e-3
+    grad_clip: float = 10.0
+    seed: int = 0
+    max_batches_per_epoch: int | None = None  # cap for scaled-down runs
+    eval_samples: int = 3  # best-of-K at evaluation time
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {self.learning_rate}")
+        if self.eval_samples < 1:
+            raise ValueError(f"eval_samples must be >= 1, got {self.eval_samples}")
+
+
+@dataclass(frozen=True)
+class AdapTrajConfig:
+    """AdapTraj-specific hyperparameters (paper Eq. 23–25 and Alg. 1)."""
+
+    feature_dim: int = 16  # width of each of the four feature families
+    alpha: float = 0.01  # reconstruction (SIMSE) weight (paper value)
+    beta: float = 0.075  # difference (orthogonality) weight (paper value)
+    # The paper uses gamma = 0.25; our cross-entropy scale differs from the
+    # authors' implementation (different feature widths / classifier), and
+    # 0.1 is the stable setting at scaled-down epoch budgets.
+    gamma: float = 0.1  # domain-adversarial similarity weight
+    delta: float = 1.0  # domain weight in step 1 (Eq. 23)
+    delta_prime: float = 0.1  # reduced domain weight in steps 2-3 (Eq. 25)
+    sigma: float = 0.5  # aggregator ratio: P(mask the domain label)
+    distill_weight: float = 1.0  # teacher-student imitation weight (Sec. III-D)
+    f_low: float = 0.3  # low learning-rate fraction (steps 2-3)
+    f_high: float = 0.5  # high learning-rate fraction (aggregator, step 2)
+    # Paper-scale boundaries are ~0.5/0.8 of 300 epochs; at scaled-down
+    # budgets a later e_start works better, consistent with the paper's own
+    # Fig. 4(b) finding that "a higher aggregator start epoch improves final
+    # results".
+    start_fraction: float = 0.75  # e_start / e_total
+    end_fraction: float = 0.9  # e_end / e_total
+
+    def __post_init__(self) -> None:
+        if self.feature_dim < 1:
+            raise ValueError(f"feature_dim must be >= 1, got {self.feature_dim}")
+        if not 0.0 <= self.sigma <= 1.0:
+            raise ValueError(f"sigma must be in [0, 1], got {self.sigma}")
+        if not 0.0 < self.start_fraction <= self.end_fraction <= 1.0:
+            raise ValueError(
+                "phase fractions must satisfy 0 < start <= end <= 1, got "
+                f"start={self.start_fraction}, end={self.end_fraction}"
+            )
+        for name in (
+            "alpha", "beta", "gamma", "delta", "delta_prime",
+            "distill_weight", "f_low", "f_high",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def phase_boundaries(self, total_epochs: int) -> tuple[int, int]:
+        """Absolute ``(e_start, e_end)`` for a run of ``total_epochs``."""
+        e_start = max(1, int(round(total_epochs * self.start_fraction)))
+        e_end = max(e_start, int(round(total_epochs * self.end_fraction)))
+        return e_start, min(e_end, total_epochs)
+
+    @property
+    def context_size(self) -> int:
+        """Width of the conditioning vector handed to the backbone: [H^i, H^s]."""
+        return 2 * self.feature_dim

@@ -1,0 +1,166 @@
+"""Learning-method abstraction: train/evaluate loops shared by all methods.
+
+The paper compares four *learning methods* applied to the same backbone:
+vanilla, Counter, CausalMotion, and AdapTraj.  A :class:`LearningMethod`
+wraps a backbone with a training objective and an inference rule; the shared
+machinery here (epoch loop, optimizer with named parameter groups, gradient
+clipping, best-of-K evaluation, latency measurement) keeps the comparison
+fair — methods differ only in ``training_step`` / ``predict_samples`` and,
+for AdapTraj, the epoch schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TrainConfig
+from repro.data.dataset import Batch, TrajectoryDataset
+from repro.metrics.displacement import best_of_ade_fde
+from repro.models.base import TrajectoryBackbone
+from repro.nn import Adam, Parameter, Tensor, clip_grad_norm
+from repro.utils.seeding import new_rng
+from repro.utils.timing import Timer
+
+__all__ = ["FitResult", "LearningMethod"]
+
+
+@dataclass
+class FitResult:
+    """Training-run summary."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    val_history: list[tuple[int, float, float]] = field(default_factory=list)
+    train_seconds: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class LearningMethod:
+    """Base class: a backbone plus a training objective and inference rule."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        backbone: TrajectoryBackbone,
+        config: TrainConfig | None = None,
+    ) -> None:
+        self.backbone = backbone
+        self.config = config or TrainConfig()
+        self.rng = new_rng(self.config.seed)
+        self.optimizer: Adam | None = None
+
+    # ------------------------------------------------------------------
+    # Hooks overridden by concrete methods
+    # ------------------------------------------------------------------
+    def parameter_groups(self) -> dict[str, list[Parameter]]:
+        return {"backbone": self.backbone.parameters()}
+
+    def training_step(self, batch: Batch) -> Tensor:
+        """Return the scalar loss for one batch."""
+        raise NotImplementedError
+
+    def predict_samples(
+        self, batch: Batch, num_samples: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sampled futures ``[K, B, pred_len, 2]`` in the normalized frame."""
+        return self.backbone.predict(batch, rng=rng, num_samples=num_samples)
+
+    def on_epoch_start(self, epoch: int, total_epochs: int) -> None:
+        """Per-epoch schedule hook (AdapTraj switches phases here)."""
+
+    def epoch_batches(self, train: TrajectoryDataset, epoch: int):
+        """Yield the batches for one epoch (default: one shuffled pass)."""
+        yield from train.batches(self.config.batch_size, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    # Shared loops
+    # ------------------------------------------------------------------
+    def all_parameters(self) -> list[Parameter]:
+        return [p for params in self.parameter_groups().values() for p in params]
+
+    def fit(
+        self,
+        train: TrajectoryDataset,
+        val: TrajectoryDataset | None = None,
+        eval_every: int = 0,
+    ) -> FitResult:
+        """Run the full training schedule on ``train``.
+
+        ``eval_every > 0`` evaluates on ``val`` every that many epochs and
+        records ``(epoch, ADE, FDE)`` in the result's ``val_history``.
+        """
+        if len(train) == 0:
+            raise ValueError("training dataset is empty")
+        if self.optimizer is None:
+            self.optimizer = Adam(self.parameter_groups(), lr=self.config.learning_rate)
+        result = FitResult()
+        timer = Timer()
+        cap = self.config.max_batches_per_epoch
+        with timer.measure():
+            for epoch in range(self.config.epochs):
+                self.on_epoch_start(epoch, self.config.epochs)
+                losses = []
+                for i, batch in enumerate(self.epoch_batches(train, epoch)):
+                    if cap is not None and i >= cap:
+                        break
+                    self.optimizer.zero_grad()
+                    loss = self.training_step(batch)
+                    loss.backward()
+                    clip_grad_norm(self.all_parameters(), self.config.grad_clip)
+                    self.optimizer.step()
+                    losses.append(loss.item())
+                result.epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
+                if val is not None and eval_every and (epoch + 1) % eval_every == 0:
+                    ade, fde = self.evaluate(val)
+                    result.val_history.append((epoch, ade, fde))
+        result.train_seconds = timer.total
+        return result
+
+    def evaluate(
+        self,
+        dataset: TrajectoryDataset,
+        num_samples: int | None = None,
+        batch_size: int = 64,
+        rng: np.random.Generator | int | None = None,
+    ) -> tuple[float, float]:
+        """Best-of-K ``(ADE, FDE)`` over ``dataset``."""
+        if len(dataset) == 0:
+            raise ValueError("evaluation dataset is empty")
+        num_samples = num_samples or self.config.eval_samples
+        rng = new_rng(rng if rng is not None else self.config.seed + 1)
+        total_ade = total_fde = 0.0
+        count = 0
+        for batch in dataset.batches(batch_size, shuffle=False):
+            samples = self.predict_samples(batch, num_samples, rng)
+            ade, fde = best_of_ade_fde(samples, batch.future)
+            total_ade += ade * batch.size
+            total_fde += fde * batch.size
+            count += batch.size
+        return total_ade / count, total_fde / count
+
+    def measure_inference_time(
+        self,
+        dataset: TrajectoryDataset,
+        num_batches: int = 5,
+        batch_size: int = 32,
+        num_samples: int = 1,
+    ) -> float:
+        """Mean seconds per batch of predictions (paper Table VIII)."""
+        rng = new_rng(self.config.seed + 2)
+        batches = []
+        for batch in dataset.batches(batch_size, shuffle=False):
+            batches.append(batch)
+            if len(batches) >= num_batches:
+                break
+        # Warm-up pass so one-time costs are excluded.
+        self.predict_samples(batches[0], num_samples, rng)
+        start = time.perf_counter()
+        for batch in batches:
+            self.predict_samples(batch, num_samples, rng)
+        return (time.perf_counter() - start) / len(batches)

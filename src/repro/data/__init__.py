@@ -1,0 +1,43 @@
+"""``repro.data`` — trajectory containers and the TrajNet++-style pipeline.
+
+Scenes → resampling (0.4 s) → sliding-window samples (8 obs + 12 pred) →
+chronological 6:2:2 splits → normalized padded batches.
+"""
+
+from repro.data.dataset import (
+    OBS_LEN,
+    PRED_LEN,
+    Batch,
+    TrajectoryDataset,
+    TrajectorySample,
+    extract_samples,
+)
+from repro.data.preprocess import pixels_to_world, resample_scene, resample_track
+from repro.data.registry import (
+    DataConfig,
+    clear_cache,
+    load_domain_dataset,
+    load_multi_domain,
+)
+from repro.data.splits import DatasetSplits, chronological_split
+from repro.data.trajectory import AgentTrack, Scene
+
+__all__ = [
+    "AgentTrack",
+    "Batch",
+    "DataConfig",
+    "DatasetSplits",
+    "OBS_LEN",
+    "PRED_LEN",
+    "Scene",
+    "TrajectoryDataset",
+    "TrajectorySample",
+    "chronological_split",
+    "clear_cache",
+    "extract_samples",
+    "load_domain_dataset",
+    "load_multi_domain",
+    "pixels_to_world",
+    "resample_scene",
+    "resample_track",
+]

@@ -1,0 +1,70 @@
+"""Chronological train/validation/test splitting (paper Sec. IV-A1).
+
+"Each dataset is split chronologically into train, validation, and test sets
+with a ratio of 6:2:2" — samples are ordered by (scene id, window start
+frame) and cut at the 60% / 80% quantiles, so the test set is strictly later
+in time than the training set within every scene stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import TrajectoryDataset
+
+__all__ = ["DatasetSplits", "chronological_split"]
+
+
+@dataclass
+class DatasetSplits:
+    """Train / validation / test partition of one dataset."""
+
+    train: TrajectoryDataset
+    val: TrajectoryDataset
+    test: TrajectoryDataset
+
+    def sizes(self) -> tuple[int, int, int]:
+        return len(self.train), len(self.val), len(self.test)
+
+
+def chronological_split(
+    dataset: TrajectoryDataset,
+    ratios: tuple[float, float, float] = (0.6, 0.2, 0.2),
+) -> DatasetSplits:
+    """Split ``dataset`` chronologically per domain with the given ratios.
+
+    The split is performed independently within each domain so that every
+    domain contributes to all three partitions even when sample counts are
+    unbalanced (the multi-source setting trains on several domains at once).
+    """
+    if len(ratios) != 3:
+        raise ValueError(f"ratios must have 3 entries, got {len(ratios)}")
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {sum(ratios)}")
+    if any(r < 0 for r in ratios):
+        raise ValueError(f"ratios must be non-negative, got {ratios}")
+
+    train_idx: list[int] = []
+    val_idx: list[int] = []
+    test_idx: list[int] = []
+
+    for domain in dataset.domains:
+        indices = [i for i, s in enumerate(dataset.samples) if s.domain == domain]
+        if not indices:
+            continue
+        # Chronological order within the domain's stream of recordings.
+        indices.sort(key=lambda i: (dataset.samples[i].scene_id, dataset.samples[i].frame))
+        n = len(indices)
+        cut1 = int(np.floor(n * ratios[0]))
+        cut2 = int(np.floor(n * (ratios[0] + ratios[1])))
+        train_idx.extend(indices[:cut1])
+        val_idx.extend(indices[cut1:cut2])
+        test_idx.extend(indices[cut2:])
+
+    return DatasetSplits(
+        train=dataset.subset(train_idx),
+        val=dataset.subset(val_idx),
+        test=dataset.subset(test_idx),
+    )

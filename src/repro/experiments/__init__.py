@@ -1,0 +1,50 @@
+"""``repro.experiments`` — harness regenerating every table and figure.
+
+See DESIGN.md §4 for the experiment index mapping each paper table/figure to
+its generator here and its benchmark target.
+"""
+
+from repro.experiments.figures import (
+    FigureResult,
+    ascii_bar_chart,
+    figure3_source_domains,
+    figure4_sensitivity,
+)
+from repro.experiments.harness import RunResult, run_experiment
+from repro.experiments.reporting import format_table, save_json, save_table
+from repro.experiments.scales import SCALES, ExperimentScale, get_scale
+from repro.experiments.tables import (
+    TableResult,
+    table1_dataset_statistics,
+    table2_domain_shift,
+    table3_negative_transfer,
+    table4_main_comparison,
+    table5_single_source,
+    table6_source_count,
+    table7_ablation,
+    table8_inference_time,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "FigureResult",
+    "RunResult",
+    "SCALES",
+    "TableResult",
+    "ascii_bar_chart",
+    "figure3_source_domains",
+    "figure4_sensitivity",
+    "format_table",
+    "get_scale",
+    "run_experiment",
+    "save_json",
+    "save_table",
+    "table1_dataset_statistics",
+    "table2_domain_shift",
+    "table3_negative_transfer",
+    "table4_main_comparison",
+    "table5_single_source",
+    "table6_source_count",
+    "table7_ablation",
+    "table8_inference_time",
+]

@@ -1,0 +1,59 @@
+"""Result formatting and persistence for the reproduction experiments."""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Sequence
+
+__all__ = ["format_table", "save_json", "save_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table (the textual equivalent of the paper's tables)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def render_row(row: list[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(render_row(cells[0]))
+    lines.append(sep)
+    lines.extend(render_row(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def save_json(path: str | os.PathLike, payload: object) -> None:
+    """Write ``payload`` as pretty JSON, creating parent directories."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+
+
+def save_table(
+    path: str | os.PathLike,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render, persist, and return the ASCII table."""
+    text = format_table(headers, rows, title=title)
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text

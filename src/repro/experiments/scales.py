@@ -1,0 +1,68 @@
+"""Experiment scales: how big each reproduction run is.
+
+Paper-scale training (300 epochs on tens of thousands of sequences, PyTorch
+on GPU) is impractical on a numpy substrate, so every experiment accepts an
+:class:`ExperimentScale`:
+
+* ``tiny`` — used by the benchmark suite and CI: minutes for the full set of
+  tables/figures; reproduces orderings but with high variance.
+* ``small`` — the default for the examples: clearer separations.
+* ``paper`` — the faithful protocol (paper epochs/batch size, full
+  simulated datasets); hours of CPU time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.config import TrainConfig
+from repro.data.registry import DataConfig
+
+__all__ = ["ExperimentScale", "get_scale", "SCALES"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Data + training sizes for one reproduction run."""
+
+    name: str
+    data: DataConfig
+    train: TrainConfig
+
+    def with_seed(self, seed: int) -> ExperimentScale:
+        """Same scale, different stochastic realization."""
+        return ExperimentScale(
+            name=self.name,
+            data=replace(self.data, seed=self.data.seed + seed),
+            train=replace(self.train, seed=self.train.seed + seed),
+        )
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny",
+        data=DataConfig(num_scenes=1, frames_per_scene=60, stride=5, max_neighbours=6),
+        train=TrainConfig(
+            epochs=8, batch_size=32, max_batches_per_epoch=6, eval_samples=2
+        ),
+    ),
+    "small": ExperimentScale(
+        name="small",
+        data=DataConfig(num_scenes=2, frames_per_scene=90, stride=3, max_neighbours=8),
+        train=TrainConfig(
+            epochs=24, batch_size=32, max_batches_per_epoch=20, eval_samples=3
+        ),
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        data=DataConfig(num_scenes=8, frames_per_scene=200, stride=1, max_neighbours=12),
+        train=TrainConfig(epochs=300, batch_size=32, eval_samples=20),
+    ),
+}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; available: {sorted(SCALES)}") from None

@@ -1,0 +1,358 @@
+"""Generators for every table of the paper's evaluation (Tables I–VIII).
+
+Each ``tableN_*`` function runs the experiments behind one paper table and
+returns a :class:`TableResult` holding the rendered ASCII table plus the raw
+numbers; the matching benchmark in ``benchmarks/`` regenerates it and writes
+the output under ``results/``.
+
+Domain-name mapping between the paper and the synthetic domains:
+``ETH&UCY -> eth_ucy``, ``L-CAS -> lcas``, ``SYI -> syi``, ``SDD -> sdd``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import AdapTrajConfig
+from repro.experiments.harness import RunResult, run_experiment
+from repro.experiments.reporting import format_table, save_json, save_table
+from repro.experiments.scales import ExperimentScale, get_scale
+from repro.metrics.statistics import compute_statistics
+from repro.sim.domains import DOMAIN_NAMES
+from repro.sim.generator import generate_scenes
+
+__all__ = [
+    "TableResult",
+    "table1_dataset_statistics",
+    "table2_domain_shift",
+    "table3_negative_transfer",
+    "table4_main_comparison",
+    "table5_single_source",
+    "table6_source_count",
+    "table7_ablation",
+    "table8_inference_time",
+]
+
+#: Default leave-one-out source sets: target -> sources (paper Sec. IV-A1).
+BACKBONES = ("pecnet", "lbebm")
+METHODS = ("vanilla", "counter", "causal_motion", "adaptraj")
+
+
+@dataclass
+class TableResult:
+    """Rendered table plus raw run results."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    runs: list[RunResult] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def save(self, directory: str = "results") -> str:
+        save_table(f"{directory}/{self.name}.txt", self.headers, self.rows, self.title)
+        save_json(
+            f"{directory}/{self.name}.json",
+            {
+                "headers": self.headers,
+                "rows": self.rows,
+                "runs": [vars(r) for r in self.runs],
+            },
+        )
+        return self.text
+
+
+def _scale(scale: ExperimentScale | str) -> ExperimentScale:
+    return get_scale(scale) if isinstance(scale, str) else scale
+
+
+def _fmt(ade: float, fde: float) -> str:
+    return f"{ade:.3f}/{fde:.3f}"
+
+
+def _sources_for(target: str) -> list[str]:
+    return [d for d in DOMAIN_NAMES if d != target]
+
+
+# ----------------------------------------------------------------------
+# Table I — dataset statistics
+# ----------------------------------------------------------------------
+def table1_dataset_statistics(
+    scale: ExperimentScale | str = "tiny", seed: int = 0
+) -> TableResult:
+    """Statistical analysis of the four (synthetic) datasets (paper Table I)."""
+    scale = _scale(scale).with_seed(seed)
+    headers = [
+        "Datasets",
+        "# sequences",
+        "Avg/Std num",
+        "Avg/Std v(x)",
+        "Avg/Std v(y)",
+        "Avg/Std a(x)",
+        "Avg/Std a(y)",
+    ]
+    rows = []
+    for i, domain in enumerate(DOMAIN_NAMES):
+        scenes = generate_scenes(
+            domain,
+            num_scenes=scale.data.num_scenes,
+            frames_per_scene=scale.data.frames_per_scene,
+            rng=scale.data.seed + i,
+        )
+        stats = compute_statistics(scenes).as_row()
+        rows.append([stats[h] if h in stats else stats["domain"] for h in headers[1:]])
+        rows[-1].insert(0, domain)
+    return TableResult(
+        name="table1_statistics",
+        title="Table I: statistics of the four synthetic domains",
+        headers=headers,
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II — cross-domain performance decline
+# ----------------------------------------------------------------------
+def table2_domain_shift(
+    scale: ExperimentScale | str = "tiny", seed: int = 0
+) -> TableResult:
+    """Existing methods trained on SDD vs ETH&UCY, tested on SDD (paper Table II)."""
+    scale = _scale(scale)
+    columns = [
+        ("lbebm", "vanilla", "LBEBM"),
+        ("pecnet", "vanilla", "PECNet"),
+        ("pecnet", "counter", "Counter"),
+        ("pecnet", "causal_motion", "CausalMotion"),
+    ]
+    runs: list[RunResult] = []
+    rows = []
+    for source in ("sdd", "eth_ucy"):
+        row: list[object] = [source]
+        for backbone, method, _ in columns:
+            result = run_experiment(
+                backbone, method, sources=[source], target="sdd", scale=scale, seed=seed
+            )
+            runs.append(result)
+            row.append(_fmt(result.ade, result.fde))
+        rows.append(row)
+    return TableResult(
+        name="table2_domain_shift",
+        title="Table II: ADE/FDE on SDD when trained on the same vs a different domain",
+        headers=["Source Domain", *[label for *_, label in columns]],
+        rows=rows,
+        runs=runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III — negative transfer
+# ----------------------------------------------------------------------
+def table3_negative_transfer(
+    scale: ExperimentScale | str = "tiny", seed: int = 0
+) -> TableResult:
+    """Single-source DG methods on growing source sets, tested on SDD (Table III)."""
+    scale = _scale(scale)
+    source_sets = [
+        ["eth_ucy"],
+        ["eth_ucy", "lcas"],
+        ["eth_ucy", "lcas", "syi"],
+    ]
+    runs: list[RunResult] = []
+    rows = []
+    for sources in source_sets:
+        row: list[object] = [", ".join(sources)]
+        for method in ("counter", "causal_motion"):
+            result = run_experiment(
+                "pecnet", method, sources=sources, target="sdd", scale=scale, seed=seed
+            )
+            runs.append(result)
+            row.append(_fmt(result.ade, result.fde))
+        rows.append(row)
+    return TableResult(
+        name="table3_negative_transfer",
+        title="Table III: single-source DG methods degrade as source domains are added",
+        headers=["Source Domains", "Counter", "CausalMotion"],
+        rows=rows,
+        runs=runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table IV — main multi-source comparison
+# ----------------------------------------------------------------------
+def table4_main_comparison(
+    scale: ExperimentScale | str = "tiny",
+    seed: int = 0,
+    backbones: tuple[str, ...] = BACKBONES,
+    methods: tuple[str, ...] = METHODS,
+    targets: tuple[str, ...] = DOMAIN_NAMES,
+) -> TableResult:
+    """Leave-one-domain-out comparison of all methods (paper Table IV)."""
+    scale = _scale(scale)
+    runs: list[RunResult] = []
+    rows = []
+    for backbone in backbones:
+        for method in methods:
+            row: list[object] = [backbone, method]
+            ades, fdes = [], []
+            for target in targets:
+                result = run_experiment(
+                    backbone,
+                    method,
+                    sources=_sources_for(target),
+                    target=target,
+                    scale=scale,
+                    seed=seed,
+                )
+                runs.append(result)
+                ades.append(result.ade)
+                fdes.append(result.fde)
+                row.append(_fmt(result.ade, result.fde))
+            row.append(_fmt(sum(ades) / len(ades), sum(fdes) / len(fdes)))
+            rows.append(row)
+    return TableResult(
+        name="table4_main_comparison",
+        title="Table IV: multi-source domain generalization (ADE/FDE per target domain)",
+        headers=["Backbone", "Method", *targets, "Average"],
+        rows=rows,
+        runs=runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table V — single-source domain generalization
+# ----------------------------------------------------------------------
+def table5_single_source(
+    scale: ExperimentScale | str = "tiny",
+    seed: int = 0,
+    backbones: tuple[str, ...] = BACKBONES,
+    methods: tuple[str, ...] = METHODS,
+) -> TableResult:
+    """Each dataset as the single source, evaluated on SDD (paper Table V)."""
+    scale = _scale(scale)
+    sources = [d for d in DOMAIN_NAMES if d != "sdd"]
+    runs: list[RunResult] = []
+    rows = []
+    for backbone in backbones:
+        for method in methods:
+            row: list[object] = [backbone, method]
+            ades, fdes = [], []
+            for source in sources:
+                result = run_experiment(
+                    backbone, method, sources=[source], target="sdd", scale=scale, seed=seed
+                )
+                runs.append(result)
+                ades.append(result.ade)
+                fdes.append(result.fde)
+                row.append(_fmt(result.ade, result.fde))
+            row.append(_fmt(sum(ades) / len(ades), sum(fdes) / len(fdes)))
+            rows.append(row)
+    return TableResult(
+        name="table5_single_source",
+        title="Table V: single-source domain generalization onto SDD (ADE/FDE)",
+        headers=["Backbone", "Method", *sources, "Average"],
+        rows=rows,
+        runs=runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VI — number of source domains (PECNet)
+# ----------------------------------------------------------------------
+def table6_source_count(
+    scale: ExperimentScale | str = "tiny", seed: int = 0
+) -> TableResult:
+    """PECNet vs PECNet-AdapTraj across source-domain counts (paper Table VI)."""
+    scale = _scale(scale)
+    source_sets = [["sdd"], ["eth_ucy"], ["eth_ucy", "lcas"]]
+    runs: list[RunResult] = []
+    rows = []
+    for method, label in (("vanilla", "PECNet"), ("adaptraj", "PECNet-AdapTraj")):
+        for sources in source_sets:
+            result = run_experiment(
+                "pecnet", method, sources=sources, target="sdd", scale=scale, seed=seed
+            )
+            runs.append(result)
+            rows.append(
+                [label, ", ".join(sources), f"{result.ade:.3f}", f"{result.fde:.3f}"]
+            )
+    return TableResult(
+        name="table6_source_count",
+        title="Table VI: performance on various numbers of source domains (target SDD)",
+        headers=["Method", "Source Domains", "ADE", "FDE"],
+        rows=rows,
+        runs=runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VII — ablation study
+# ----------------------------------------------------------------------
+def table7_ablation(
+    scale: ExperimentScale | str = "tiny",
+    seed: int = 0,
+    backbones: tuple[str, ...] = BACKBONES,
+) -> TableResult:
+    """AdapTraj variants w/o specific and w/o invariant features (paper Table VII)."""
+    scale = _scale(scale)
+    variants = [("no_specific", "w/o specific"), ("no_invariant", "w/o invariant"), ("full", "ours")]
+    runs: list[RunResult] = []
+    rows = []
+    for backbone in backbones:
+        for variant, label in variants:
+            result = run_experiment(
+                backbone,
+                "adaptraj",
+                sources=_sources_for("sdd"),
+                target="sdd",
+                scale=scale,
+                seed=seed,
+                variant=variant,
+            )
+            runs.append(result)
+            rows.append([backbone, label, f"{result.ade:.3f}", f"{result.fde:.3f}"])
+    return TableResult(
+        name="table7_ablation",
+        title="Table VII: ablation with target SDD, sources ETH&UCY + L-CAS + SYI",
+        headers=["Backbone", "Variant", "ADE", "FDE"],
+        rows=rows,
+        runs=runs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VIII — inference time
+# ----------------------------------------------------------------------
+def table8_inference_time(
+    scale: ExperimentScale | str = "tiny",
+    seed: int = 0,
+    backbones: tuple[str, ...] = BACKBONES,
+    methods: tuple[str, ...] = METHODS,
+) -> TableResult:
+    """Average per-batch inference time per method (paper Table VIII)."""
+    scale = _scale(scale)
+    runs: list[RunResult] = []
+    rows = []
+    for backbone in backbones:
+        for method in methods:
+            result = run_experiment(
+                backbone,
+                method,
+                sources=_sources_for("sdd"),
+                target="sdd",
+                scale=scale,
+                seed=seed,
+                measure_inference=True,
+            )
+            runs.append(result)
+            rows.append([backbone, method, f"{result.inference_seconds:.4f}"])
+    return TableResult(
+        name="table8_inference_time",
+        title="Table VIII: average inference time (seconds per batch, target SDD)",
+        headers=["Backbone", "Method", "Inference time (s)"],
+        rows=rows,
+        runs=runs,
+    )

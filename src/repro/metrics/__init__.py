@@ -1,0 +1,13 @@
+"""``repro.metrics`` — evaluation metrics (ADE/FDE) and dataset statistics."""
+
+from repro.metrics.displacement import ade, ade_fde, best_of_ade_fde, fde
+from repro.metrics.statistics import DomainStatistics, compute_statistics
+
+__all__ = [
+    "DomainStatistics",
+    "ade",
+    "ade_fde",
+    "best_of_ade_fde",
+    "compute_statistics",
+    "fde",
+]

@@ -1,0 +1,70 @@
+"""Displacement-error metrics (paper Sec. IV-A3).
+
+* **ADE** — mean Euclidean distance between predicted and ground-truth
+  positions over all predicted time steps.
+* **FDE** — Euclidean distance at the final predicted time step.
+
+Both support the stochastic-prediction convention of the PECNet/LBEBM
+literature: with ``K`` sampled futures per agent, ``best_of`` selects the
+sample with the lowest error per agent (best-of-K / "minADE") before
+averaging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ade", "fde", "ade_fde", "best_of_ade_fde"]
+
+
+def _validate(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+    if pred.ndim != 3 or pred.shape[-1] != 2:
+        raise ValueError(f"expected [batch, steps, 2] trajectories, got {pred.shape}")
+    return pred, target
+
+
+def ade(pred: np.ndarray, target: np.ndarray) -> float:
+    """Average displacement error over ``[batch, steps, 2]`` trajectories."""
+    pred, target = _validate(pred, target)
+    return float(np.linalg.norm(pred - target, axis=-1).mean())
+
+
+def fde(pred: np.ndarray, target: np.ndarray) -> float:
+    """Final displacement error over ``[batch, steps, 2]`` trajectories."""
+    pred, target = _validate(pred, target)
+    return float(np.linalg.norm(pred[:, -1] - target[:, -1], axis=-1).mean())
+
+
+def ade_fde(pred: np.ndarray, target: np.ndarray) -> tuple[float, float]:
+    """Convenience: ``(ADE, FDE)`` in one call."""
+    return ade(pred, target), fde(pred, target)
+
+
+def best_of_ade_fde(
+    samples: np.ndarray, target: np.ndarray
+) -> tuple[float, float]:
+    """Best-of-K metrics for stochastic predictors.
+
+    ``samples`` has shape ``[K, batch, steps, 2]``; for every agent the
+    sample minimizing ADE is selected (FDE is reported for that same sample,
+    following the PECNet evaluation protocol).
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if samples.ndim != 4:
+        raise ValueError(f"samples must be [K, batch, steps, 2], got {samples.shape}")
+    if samples.shape[1:] != target.shape:
+        raise ValueError(
+            f"samples {samples.shape} incompatible with target {target.shape}"
+        )
+    errors = np.linalg.norm(samples - target[None], axis=-1)  # [K, B, T]
+    per_sample_ade = errors.mean(axis=-1)  # [K, B]
+    best = per_sample_ade.argmin(axis=0)  # [B]
+    batch_index = np.arange(target.shape[0])
+    best_ade = per_sample_ade[best, batch_index].mean()
+    best_fde = errors[best, batch_index, -1].mean()
+    return float(best_ade), float(best_fde)

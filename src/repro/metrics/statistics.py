@@ -1,0 +1,106 @@
+"""Trajectory-characteristic statistics (paper Table I).
+
+For a collection of scenes these helpers compute the quantities the paper
+uses to demonstrate distribution shift between datasets: number of
+prediction sequences, crowd density (agents per sequence window), and per-
+axis absolute velocity / acceleration per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import OBS_LEN, PRED_LEN
+from repro.data.trajectory import Scene
+
+__all__ = ["DomainStatistics", "compute_statistics"]
+
+
+@dataclass
+class DomainStatistics:
+    """Table I row for one dataset/domain (mean/std pairs per characteristic)."""
+
+    domain: str
+    num_sequences: int
+    num_agents_mean: float
+    num_agents_std: float
+    vx_mean: float
+    vx_std: float
+    vy_mean: float
+    vy_std: float
+    ax_mean: float
+    ax_std: float
+    ay_mean: float
+    ay_std: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        return {
+            "domain": self.domain,
+            "# sequences": self.num_sequences,
+            "Avg/Std num": f"{self.num_agents_mean:.2f}/{self.num_agents_std:.2f}",
+            "Avg/Std v(x)": f"{self.vx_mean:.3f}/{self.vx_std:.3f}",
+            "Avg/Std v(y)": f"{self.vy_mean:.3f}/{self.vy_std:.3f}",
+            "Avg/Std a(x)": f"{self.ax_mean:.3f}/{self.ax_std:.3f}",
+            "Avg/Std a(y)": f"{self.ay_mean:.3f}/{self.ay_std:.3f}",
+        }
+
+
+def compute_statistics(
+    scenes: list[Scene],
+    obs_len: int = OBS_LEN,
+    pred_len: int = PRED_LEN,
+) -> DomainStatistics:
+    """Compute Table I statistics for a homogeneous list of scenes.
+
+    * A "sequence" is a full observation+prediction window for one focal
+      agent (same windowing as the prediction task).
+    * Velocity/acceleration are absolute per-frame first/second differences,
+      pooled over all agents and frames.
+    """
+    if not scenes:
+        raise ValueError("need at least one scene")
+    domains = {s.domain for s in scenes}
+    if len(domains) != 1:
+        raise ValueError(f"scenes span multiple domains: {sorted(domains)}")
+
+    window = obs_len + pred_len
+    num_sequences = 0
+    agents_per_window: list[int] = []
+    velocity_samples: list[np.ndarray] = []
+    accel_samples: list[np.ndarray] = []
+
+    for scene in scenes:
+        for start in range(0, max(scene.num_frames - window + 1, 0)):
+            covering = scene.tracks_covering(start, start + window)
+            num_sequences += len(covering)
+            if covering:
+                present = scene.tracks_covering(start, start + obs_len)
+                agents_per_window.append(len(present))
+        for track in scene.tracks:
+            if track.num_frames >= 2:
+                velocity_samples.append(np.abs(np.diff(track.positions, axis=0)))
+            if track.num_frames >= 3:
+                accel_samples.append(np.abs(np.diff(track.positions, n=2, axis=0)))
+
+    velocity = (
+        np.concatenate(velocity_samples) if velocity_samples else np.zeros((1, 2))
+    )
+    accel = np.concatenate(accel_samples) if accel_samples else np.zeros((1, 2))
+    agents = np.asarray(agents_per_window) if agents_per_window else np.zeros(1)
+
+    return DomainStatistics(
+        domain=next(iter(domains)),
+        num_sequences=num_sequences,
+        num_agents_mean=float(agents.mean()),
+        num_agents_std=float(agents.std()),
+        vx_mean=float(velocity[:, 0].mean()),
+        vx_std=float(velocity[:, 0].std()),
+        vy_mean=float(velocity[:, 1].mean()),
+        vy_std=float(velocity[:, 1].std()),
+        ax_mean=float(accel[:, 0].mean()),
+        ax_std=float(accel[:, 0].std()),
+        ay_mean=float(accel[:, 1].mean()),
+        ay_std=float(accel[:, 1].std()),
+    )

@@ -1,0 +1,41 @@
+"""``repro.models`` — trajectory-prediction backbones.
+
+The paper's backbone abstraction (individual mobility layer, neighbour
+interaction layer, future trajectory generator) plus the two state-of-the-art
+instantiations used in its experiments: PECNet and LBEBM.
+"""
+
+from repro.models.base import BackboneEncoding, BackboneOutput, TrajectoryBackbone
+from repro.models.decoder import (
+    MLPTrajectoryDecoder,
+    RecurrentTrajectoryDecoder,
+    cumulative_positions,
+)
+from repro.models.embeddings import StepEmbedding, WindowEmbedding
+from repro.models.lbebm import LBEBM
+from repro.models.pecnet import PECNet
+
+__all__ = [
+    "BackboneEncoding",
+    "BackboneOutput",
+    "LBEBM",
+    "MLPTrajectoryDecoder",
+    "PECNet",
+    "RecurrentTrajectoryDecoder",
+    "StepEmbedding",
+    "TrajectoryBackbone",
+    "WindowEmbedding",
+    "cumulative_positions",
+]
+
+
+def build_backbone(name: str, rng=None, **kwargs) -> TrajectoryBackbone:
+    """Factory: construct a backbone by name (``"pecnet"`` or ``"lbebm"``)."""
+    registry = {"pecnet": PECNet, "lbebm": LBEBM}
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown backbone {name!r}; available: {sorted(registry)}"
+        ) from None
+    return cls(rng=rng, **kwargs)

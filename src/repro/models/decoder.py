@@ -1,0 +1,99 @@
+"""Future-trajectory generators (paper Eq. 4–7).
+
+Two decoder styles matching the two backbones:
+
+* :class:`MLPTrajectoryDecoder` — one-shot MLP emitting all future offsets
+  (PECNet-style, endpoint-conditioned).
+* :class:`RecurrentTrajectoryDecoder` — an LSTM-cell rollout of ``l_d``
+  iterations (Eq. 6), one step per predicted frame (LBEBM-style).
+
+Both emit *displacements* that are cumulatively summed from the origin (the
+focal agent's last observed position is the origin after normalization),
+which makes small-weight initialization predict "stand still" — a sane prior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import MLP, LSTMCell, Module, Tensor, cat
+from repro.utils.seeding import new_rng
+
+__all__ = ["MLPTrajectoryDecoder", "RecurrentTrajectoryDecoder", "cumulative_positions"]
+
+
+def cumulative_positions(offsets: Tensor) -> Tensor:
+    """Turn per-step displacements ``[B, T, 2]`` into absolute positions.
+
+    Positions are relative to the normalized origin (0, 0).
+    """
+    steps = offsets.shape[1]
+    rows = []
+    total = offsets[:, 0, :]
+    rows.append(total)
+    for t in range(1, steps):
+        total = total + offsets[:, t, :]
+        rows.append(total)
+    from repro.nn import stack
+
+    return stack(rows, axis=1)
+
+
+class MLPTrajectoryDecoder(Module):
+    """One-shot decoder: conditioning vector -> all future offsets."""
+
+    def __init__(
+        self,
+        in_features: int,
+        pred_len: int,
+        hidden: int = 64,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.pred_len = pred_len
+        self.net = MLP([in_features, hidden, hidden, pred_len * 2], rng=new_rng(rng))
+
+    def forward(self, conditioning: Tensor) -> Tensor:
+        offsets = self.net(conditioning).reshape(-1, self.pred_len, 2)
+        return cumulative_positions(offsets)
+
+
+class RecurrentTrajectoryDecoder(Module):
+    """LSTM rollout decoder: one cell iteration per predicted frame.
+
+    The cell state is initialized from the conditioning vector via a linear
+    map (paper Eq. 4–5: ``h^{t,0}_{d_i} = [gamma(P_i, h_ei), z]``); each
+    iteration consumes the previous predicted offset and emits the next.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        pred_len: int,
+        hidden: int = 48,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.pred_len = pred_len
+        self.hidden = hidden
+        self.init_h = MLP([in_features, hidden], rng=rng)
+        self.init_c = MLP([in_features, hidden], rng=rng)
+        self.cell = LSTMCell(2, hidden, rng=rng)
+        self.head = MLP([hidden, 32, 2], rng=rng)
+
+    def forward(self, conditioning: Tensor) -> Tensor:
+        batch = conditioning.shape[0]
+        h = self.init_h(conditioning).tanh()
+        c = self.init_c(conditioning).tanh()
+        offset = Tensor(np.zeros((batch, 2)))
+        rows = []
+        total = None
+        for _ in range(self.pred_len):
+            h, c = self.cell(offset, (h, c))
+            offset = self.head(h)
+            total = offset if total is None else total + offset
+            rows.append(total)
+        from repro.nn import stack
+
+        return stack(rows, axis=1)

@@ -1,0 +1,60 @@
+"""Location embedding functions (paper Eq. 1: ``e_i = MLP(X_i)``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import MLP, Module, Tensor
+from repro.utils.seeding import new_rng
+
+__all__ = ["StepEmbedding", "WindowEmbedding"]
+
+
+class WindowEmbedding(Module):
+    """Embed a whole observed window ``[*, T, 2]`` into one vector ``[*, D]``.
+
+    Used by PECNet, which encodes the past trajectory in a single shot, and
+    for neighbour windows in both backbones.
+    """
+
+    def __init__(
+        self,
+        obs_len: int,
+        out_features: int,
+        hidden: int = 64,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.obs_len = obs_len
+        self.out_features = out_features
+        self.net = MLP([obs_len * 2, hidden, out_features], rng=new_rng(rng))
+
+    def forward(self, window: Tensor) -> Tensor:
+        if window.shape[-2:] != (self.obs_len, 2):
+            raise ValueError(
+                f"expected trailing dims [{self.obs_len}, 2], got {window.shape}"
+            )
+        flat = window.reshape(*window.shape[:-2], self.obs_len * 2)
+        return self.net(flat)
+
+
+class StepEmbedding(Module):
+    """Embed each location of a window independently: ``[*, T, 2] -> [*, T, D]``.
+
+    Used as the input projection of recurrent mobility encoders (LBEBM).
+    """
+
+    def __init__(
+        self,
+        out_features: int,
+        hidden: int = 32,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.out_features = out_features
+        self.net = MLP([2, hidden, out_features], rng=new_rng(rng))
+
+    def forward(self, window: Tensor) -> Tensor:
+        if window.shape[-1] != 2:
+            raise ValueError(f"expected trailing dim 2, got {window.shape}")
+        return self.net(window)

@@ -1,0 +1,178 @@
+"""LBEBM-style backbone (Pang et al., CVPR 2021; paper Sec. IV-A2).
+
+Latent Belief Energy-Based Model: a latent "plan" vector with an energy-
+based prior learned in the latent space.  Training shapes the energy so
+posterior samples (inferred from the observed+future trajectory) have low
+energy while short-run Langevin samples from the model have high energy
+(contrastive divergence); inference draws the plan by Langevin dynamics and
+rolls out a recurrent decoder.  The Langevin loop plus the recurrent decoder
+make LBEBM noticeably slower than PECNet at inference, which reproduces the
+latency gap the paper reports in Table VIII.
+
+Structure mapped to the paper's backbone abstraction (Sec. II-C):
+
+* individual mobility layer — per-step MLP embedding + LSTM encoder (Eq. 1–2);
+* neighbour interaction layer — masked social pooling (Eq. 3);
+* future trajectory generator — LSTM-cell rollout conditioned on
+  ``(h_ei, P_i, z)`` (+ the learning method's context vector) (Eq. 4–7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Batch
+from repro.models.base import BackboneEncoding, BackboneOutput, TrajectoryBackbone
+from repro.models.decoder import RecurrentTrajectoryDecoder
+from repro.models.embeddings import StepEmbedding, WindowEmbedding
+from repro.nn import LSTM, MLP, SocialPooling, Tensor, cat, enable_grad
+from repro.nn import functional as F
+from repro.utils.seeding import new_rng
+
+__all__ = ["LBEBM"]
+
+
+class LBEBM(TrajectoryBackbone):
+    """Latent-belief energy-based trajectory prediction backbone."""
+
+    def __init__(
+        self,
+        obs_len: int = 8,
+        pred_len: int = 12,
+        hidden_size: int = 32,
+        interaction_size: int = 32,
+        context_size: int = 32,
+        latent_dim: int = 8,
+        step_embed_dim: int = 16,
+        langevin_steps: int = 15,
+        langevin_step_size: float = 0.1,
+        kl_weight: float = 0.05,
+        ebm_weight: float = 0.1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__(obs_len, pred_len, hidden_size, interaction_size, context_size)
+        rng = new_rng(rng)
+        self.latent_dim = latent_dim
+        self.langevin_steps = langevin_steps
+        self.langevin_step_size = langevin_step_size
+        self.kl_weight = kl_weight
+        self.ebm_weight = ebm_weight
+
+        # Individual mobility layer: per-step embedding + LSTM (Eq. 1-2).
+        self.step_embed = StepEmbedding(step_embed_dim, rng=rng)
+        self.encoder = LSTM(step_embed_dim, hidden_size, rng=rng)
+        # Neighbour interaction layer: masked social pooling (Eq. 3).
+        self.nbr_embed = WindowEmbedding(obs_len, hidden_size, rng=rng)
+        self.social = SocialPooling(hidden_size, interaction_size, rng=rng)
+        # Latent plan machinery.
+        self.posterior = MLP(
+            [hidden_size + pred_len * 2, 64, 2 * latent_dim], rng=rng
+        )
+        self.energy = MLP([latent_dim + hidden_size, 32, 1], rng=rng)
+        # Future trajectory generator: recurrent rollout (Eq. 4-7).
+        self.decoder = RecurrentTrajectoryDecoder(
+            hidden_size + interaction_size + latent_dim + context_size,
+            pred_len,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    def encode(self, batch: Batch) -> BackboneEncoding:
+        obs = Tensor(batch.obs)
+        steps = self.step_embed(obs)
+        _, (h_ei, _) = self.encoder(steps)
+        nbr_states = self.nbr_embed(Tensor(batch.neighbours))
+        p_i = self.social(h_ei, nbr_states, batch.neighbour_mask)
+        return BackboneEncoding(h_ei=h_ei, p_i=p_i)
+
+    # ------------------------------------------------------------------
+    def _energy_of(self, z: Tensor, h: Tensor) -> Tensor:
+        """Scalar-per-sample energy ``E(z | h)``, shape ``[B, 1]``."""
+        return self.energy(cat([z, h], axis=-1))
+
+    def langevin_sample(
+        self, h_detached: Tensor, rng: np.random.Generator
+    ) -> Tensor:
+        """Short-run Langevin dynamics sampling of the latent plan.
+
+        ``z_{k+1} = z_k - (s/2) dE/dz + sqrt(s) * eps`` starting from a
+        standard normal.  Gradients w.r.t. the *energy parameters* created as
+        a side effect are cleared afterwards so the sampler never leaks into
+        the training gradient.
+        """
+        batch = h_detached.shape[0]
+        step = self.langevin_step_size
+        z = rng.standard_normal((batch, self.latent_dim))
+        h = h_detached.detach()
+        with enable_grad():  # needed even inside no_grad() inference
+            for _ in range(self.langevin_steps):
+                z_var = Tensor(z, requires_grad=True)
+                energy = self._energy_of(z_var, h).sum()
+                energy.backward()
+                grad = z_var.grad if z_var.grad is not None else np.zeros_like(z)
+                noise = rng.standard_normal(z.shape)
+                z = z - 0.5 * step * grad + np.sqrt(step) * noise
+        # Clear side-effect gradients accumulated in the energy network.
+        for p in self.energy.parameters():
+            p.zero_grad()
+        return Tensor(z)
+
+    # ------------------------------------------------------------------
+    def _decode_with_plan(
+        self, encoding: BackboneEncoding, z: Tensor, context: Tensor
+    ) -> Tensor:
+        conditioning = cat([encoding.h_ei, encoding.p_i, z, context], axis=-1)
+        return self.decoder(conditioning)
+
+    def decode(
+        self,
+        encoding: BackboneEncoding,
+        batch: Batch,
+        context: Tensor | None,
+        rng: np.random.Generator,
+    ) -> Tensor:
+        context = self._context_or_zeros(context, batch.size)
+        z = self.langevin_sample(encoding.h_ei, rng)
+        return self._decode_with_plan(encoding, z, context)
+
+    def compute_loss(
+        self,
+        encoding: BackboneEncoding,
+        batch: Batch,
+        context: Tensor | None,
+        rng: np.random.Generator,
+    ) -> BackboneOutput:
+        context = self._context_or_zeros(context, batch.size)
+        future_flat = Tensor(batch.future.reshape(batch.size, -1))
+
+        # Posterior over the latent plan.
+        stats = self.posterior(cat([encoding.h_ei, future_flat], axis=-1))
+        mu = stats[:, : self.latent_dim]
+        logvar = stats[:, self.latent_dim :].clip(-8.0, 8.0)
+        z_post = F.sample_gaussian(mu, logvar, rng)
+
+        prediction = self._decode_with_plan(encoding, z_post, context)
+        recon = F.mse_loss(prediction, Tensor(batch.future))
+        kl = F.gaussian_kl(mu, logvar)
+
+        # Contrastive energy shaping: posterior (positive) vs Langevin
+        # (negative) samples; a small L2 term keeps energies bounded.
+        h = encoding.h_ei.detach()
+        e_pos = self._energy_of(z_post.detach(), h).mean()
+        z_neg = self.langevin_sample(h, rng)
+        e_neg = self._energy_of(z_neg, h).mean()
+        ebm = e_pos - e_neg + 0.01 * (e_pos * e_pos + e_neg * e_neg)
+
+        aux = self.kl_weight * kl + self.ebm_weight * ebm
+        return BackboneOutput(
+            prediction=prediction,
+            traj_loss=recon,
+            aux_loss=aux,
+            terms={
+                "traj": recon.item(),
+                "kl": kl.item(),
+                "ebm": ebm.item(),
+                "e_pos": e_pos.item(),
+                "e_neg": e_neg.item(),
+            },
+        )

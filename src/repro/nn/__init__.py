@@ -1,0 +1,68 @@
+"""``repro.nn`` — numpy autodiff + neural-network substrate.
+
+This subpackage replaces PyTorch for the AdapTraj reproduction: a tape-based
+reverse-mode autodiff :class:`~repro.nn.tensor.Tensor`, module containers,
+feed-forward / recurrent / attention layers, optimizers with named parameter
+groups (needed by the paper's Alg. 1), and checkpoint serialization.
+"""
+
+from repro.nn import functional, init
+from repro.nn.attention import SocialAttention, SocialPooling
+from repro.nn.layers import MLP, Activation, Dropout, LayerNorm, Linear, Sequential
+from repro.nn.module import Module, ModuleDict, ModuleList, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.recurrent import GRUCell, LSTM, LSTMCell
+from repro.nn.serialization import (
+    load_checkpoint,
+    load_module,
+    save_checkpoint,
+    save_module,
+)
+from repro.nn.tensor import (
+    Tensor,
+    as_tensor,
+    cat,
+    enable_grad,
+    grad_reverse,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Activation",
+    "Adam",
+    "Dropout",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "ModuleDict",
+    "ModuleList",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "SocialAttention",
+    "SocialPooling",
+    "Tensor",
+    "as_tensor",
+    "cat",
+    "clip_grad_norm",
+    "enable_grad",
+    "functional",
+    "grad_reverse",
+    "init",
+    "is_grad_enabled",
+    "load_checkpoint",
+    "load_module",
+    "no_grad",
+    "save_checkpoint",
+    "save_module",
+    "stack",
+    "where",
+]

@@ -1,0 +1,105 @@
+"""Neighbour-interaction encoders: the paper's ``varphi`` in Eq. (3).
+
+Two interchangeable implementations are provided, matching the two backbone
+families used in the paper:
+
+* :class:`SocialAttention` — a non-local attention block (PECNet's "non-local
+  social layer"): the focal agent's state queries its neighbours' states.
+* :class:`SocialPooling` — masked mean/max pooling of neighbour states after
+  an MLP transform (Social-LSTM / LBEBM style).
+
+Both take a boolean neighbour mask so padded neighbour slots contribute
+nothing to the interaction tensor ``P_i``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.functional import masked_mean, masked_softmax
+from repro.nn.layers import MLP, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, where
+from repro.utils.seeding import new_rng
+
+__all__ = ["SocialAttention", "SocialPooling"]
+
+
+class SocialAttention(Module):
+    """Single-head non-local attention from the focal agent over neighbours.
+
+    Inputs
+    ------
+    focal : ``[batch, d_focal]`` — focal agent encoding (query source).
+    neighbours : ``[batch, max_n, d_nei]`` — neighbour encodings.
+    mask : ``[batch, max_n]`` bool — True for real neighbours.
+
+    Output: interaction tensor ``P_i`` of shape ``[batch, out_features]``.
+    """
+
+    def __init__(
+        self,
+        focal_features: int,
+        neighbour_features: int,
+        out_features: int,
+        attention_dim: int = 32,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.out_features = out_features
+        self.attention_dim = attention_dim
+        self.query = Linear(focal_features, attention_dim, rng=rng)
+        self.key = Linear(neighbour_features, attention_dim, rng=rng)
+        self.value = Linear(neighbour_features, out_features, rng=rng)
+
+    def forward(self, focal: Tensor, neighbours: Tensor, mask: np.ndarray) -> Tensor:
+        mask = np.asarray(mask, dtype=bool)
+        if neighbours.ndim != 3:
+            raise ValueError(f"neighbours must be [batch, n, d], got {neighbours.shape}")
+        q = self.query(focal).unsqueeze(1)  # [B, 1, a]
+        k = self.key(neighbours)  # [B, n, a]
+        v = self.value(neighbours)  # [B, n, out]
+        scores = (q * k).sum(axis=-1) / math.sqrt(self.attention_dim)  # [B, n]
+        weights = masked_softmax(scores, mask, axis=-1)  # [B, n], zero rows if no nbr
+        pooled = (weights.unsqueeze(-1) * v).sum(axis=1)  # [B, out]
+        return pooled
+
+
+class SocialPooling(Module):
+    """Masked mean+max pooling of MLP-transformed neighbour states."""
+
+    def __init__(
+        self,
+        neighbour_features: int,
+        out_features: int,
+        hidden: int = 32,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.out_features = out_features
+        if out_features % 2 != 0:
+            raise ValueError(f"out_features must be even (mean||max halves), got {out_features}")
+        half = out_features // 2
+        self.transform = MLP([neighbour_features, hidden, half], rng=rng)
+
+    def forward(self, focal: Tensor, neighbours: Tensor, mask: np.ndarray) -> Tensor:
+        mask = np.asarray(mask, dtype=bool)
+        transformed = self.transform(neighbours)  # [B, n, half]
+        mean_pool = masked_mean(transformed, mask, axis=1)  # [B, half]
+        # Max pool: push padded slots to a large negative value first.
+        neg = np.full(transformed.shape, -1e9)
+        guarded = where(mask[..., None], transformed, Tensor(neg))
+        max_pool = guarded.max(axis=1)
+        has_any = mask.any(axis=1)[:, None]
+        max_pool = where(
+            np.broadcast_to(has_any, max_pool.shape),
+            max_pool,
+            Tensor(np.zeros(max_pool.shape)),
+        )
+        from repro.nn.tensor import cat
+
+        return cat([mean_pool, max_pool], axis=-1)

@@ -1,0 +1,186 @@
+"""Optimizers with named parameter groups.
+
+AdapTraj's three-step training procedure (Alg. 1) requires per-component
+learning rates: in step 2 the aggregator trains at ``lr * f_high`` while every
+other module trains at ``lr * f_low``, and the domain-specific extractor is
+frozen.  The optimizers here expose named groups with an ``lr_scale`` and a
+``frozen`` flag so the trainer can retarget rates between phases without
+rebuilding optimizer state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD", "Adam", "Optimizer", "ParamGroup", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in-place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+@dataclass
+class ParamGroup:
+    """A named collection of parameters sharing learning-rate settings."""
+
+    name: str
+    params: list[Parameter]
+    lr_scale: float = 1.0
+    frozen: bool = False
+    weight_decay: float = 0.0
+
+
+class Optimizer:
+    """Base optimizer over named parameter groups."""
+
+    def __init__(
+        self,
+        params_or_groups: Sequence[Parameter] | dict[str, Sequence[Parameter]],
+        lr: float,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.groups: list[ParamGroup] = []
+        if isinstance(params_or_groups, dict):
+            for name, params in params_or_groups.items():
+                self.groups.append(
+                    ParamGroup(name=name, params=list(params), weight_decay=weight_decay)
+                )
+        else:
+            self.groups.append(
+                ParamGroup(name="default", params=list(params_or_groups), weight_decay=weight_decay)
+            )
+        self._check_no_duplicates()
+
+    def _check_no_duplicates(self) -> None:
+        seen: set[int] = set()
+        for group in self.groups:
+            for p in group.params:
+                if id(p) in seen:
+                    raise ValueError(
+                        f"parameter appears in multiple optimizer groups (group {group.name!r})"
+                    )
+                seen.add(id(p))
+
+    # ------------------------------------------------------------------
+    # Group control (used by the AdapTraj trainer between phases)
+    # ------------------------------------------------------------------
+    def group(self, name: str) -> ParamGroup:
+        for g in self.groups:
+            if g.name == name:
+                return g
+        raise KeyError(f"no optimizer group named {name!r}; have {[g.name for g in self.groups]}")
+
+    def set_lr_scale(self, name: str, scale: float) -> None:
+        self.group(name).lr_scale = scale
+
+    def set_frozen(self, name: str, frozen: bool) -> None:
+        self.group(name).frozen = frozen
+
+    def set_all_lr_scales(self, scale: float) -> None:
+        for g in self.groups:
+            g.lr_scale = scale
+
+    def zero_grad(self) -> None:
+        for group in self.groups:
+            for p in group.params:
+                p.zero_grad()
+
+    def step(self) -> None:
+        for group in self.groups:
+            if group.frozen or group.lr_scale == 0.0:
+                continue
+            lr = self.lr * group.lr_scale
+            for p in group.params:
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if group.weight_decay:
+                    grad = grad + group.weight_decay * p.data
+                self._update(p, grad, lr)
+
+    def _update(self, param: Parameter, grad: np.ndarray, lr: float) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params_or_groups,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params_or_groups, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, param: Parameter, grad: np.ndarray, lr: float) -> None:
+        if self.momentum:
+            v = self._velocity.get(id(param))
+            if v is None:
+                v = np.zeros_like(param.data)
+            v = self.momentum * v + grad
+            self._velocity[id(param)] = v
+            grad = v
+        param.data -= lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params_or_groups,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params_or_groups, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t: dict[int, int] = {}
+
+    def _update(self, param: Parameter, grad: np.ndarray, lr: float) -> None:
+        key = id(param)
+        m = self._m.get(key)
+        if m is None:
+            m = np.zeros_like(param.data)
+            self._v[key] = np.zeros_like(param.data)
+            self._t[key] = 0
+        v = self._v[key]
+        self._t[key] += 1
+        t = self._t[key]
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad**2
+        self._m[key] = m
+        self._v[key] = v
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        param.data -= lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,132 @@
+"""Recurrent cells and sequence encoders.
+
+The paper's individual-mobility encoder ``phi`` (Eq. 2) "can be implemented
+using any sequential model, such as LSTM"; LBEBM's mobility encoder here uses
+:class:`LSTM`, while PECNet flattens the observed window through an MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, cat, stack
+from repro.utils.seeding import new_rng
+
+__all__ = ["GRUCell", "LSTM", "LSTMCell"]
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell with fused gate projection.
+
+    Gate layout along the last axis of the fused projection is
+    ``[input, forget, cell, output]``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_x = Parameter(np.empty((input_size, 4 * hidden_size)))
+        self.weight_h = Parameter(np.empty((hidden_size, 4 * hidden_size)))
+        self.bias = Parameter(np.zeros(4 * hidden_size))
+        init.xavier_uniform_(self.weight_x, rng)
+        for g in range(4):
+            block = self.weight_h.data[:, g * hidden_size : (g + 1) * hidden_size]
+            block[...] = init.orthogonal_(
+                Parameter(np.empty((hidden_size, hidden_size))), rng
+            ).data
+        # Forget-gate bias of 1 stabilizes early training.
+        self.bias.data[hidden_size : 2 * hidden_size] = 1.0
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, Tensor]:
+        batch = x.shape[0]
+        if state is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            h, c = state
+        gates = x @ self.weight_x + h @ self.weight_h + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell (alternative mobility encoder)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_x = Parameter(np.empty((input_size, 3 * hidden_size)))
+        self.weight_h = Parameter(np.empty((hidden_size, 3 * hidden_size)))
+        self.bias = Parameter(np.zeros(3 * hidden_size))
+        init.xavier_uniform_(self.weight_x, rng)
+        init.xavier_uniform_(self.weight_h, rng)
+
+    def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
+        batch = x.shape[0]
+        if h is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+        hs = self.hidden_size
+        gx = x @ self.weight_x + self.bias
+        gh = h @ self.weight_h
+        r = (gx[:, 0:hs] + gh[:, 0:hs]).sigmoid()
+        z = (gx[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
+        n = (gx[:, 2 * hs : 3 * hs] + r * gh[:, 2 * hs : 3 * hs]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over a ``[batch, time, features]`` tensor.
+
+    Returns the per-step hidden states stacked along time plus the final
+    ``(h, c)`` state — the paper's ``h^{t,l_e}_{e_i}`` is the final hidden
+    state.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, inputs: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        if inputs.ndim != 3:
+            raise ValueError(f"LSTM expects [batch, time, features], got {inputs.shape}")
+        steps = inputs.shape[1]
+        outputs: list[Tensor] = []
+        h_c = state
+        for t in range(steps):
+            h, c = self.cell(inputs[:, t, :], h_c)
+            h_c = (h, c)
+            outputs.append(h)
+        return stack(outputs, axis=1), h_c

@@ -1,0 +1,37 @@
+"""Checkpoint I/O: save/load module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["load_checkpoint", "load_module", "save_checkpoint", "save_module"]
+
+
+def save_checkpoint(path: str | os.PathLike, state: dict[str, np.ndarray]) -> None:
+    """Write a state dict to ``path`` (``.npz`` appended if missing)."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    np.savez(path, **state)
+
+
+def load_checkpoint(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_checkpoint`."""
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(path: str | os.PathLike, module: Module) -> None:
+    save_checkpoint(path, module.state_dict())
+
+
+def load_module(path: str | os.PathLike, module: Module, strict: bool = True) -> Module:
+    module.load_state_dict(load_checkpoint(path), strict=strict)
+    return module

@@ -1,0 +1,120 @@
+"""Scene generation: run the social-force simulation and record trajectories.
+
+``simulate_scene`` advances one continuous recording with Poisson arrivals
+(agents spawn at scenario-defined entries, walk to their goals, and leave),
+sampling positions every ``frame_dt`` seconds into :class:`AgentTrack`
+records.  ``generate_scenes`` produces a list of scenes for a domain — the
+synthetic equivalent of one of the paper's datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.trajectory import AgentTrack, Scene
+from repro.sim.domains import DomainSpec, get_domain
+from repro.sim.social_force import AgentBatch, social_force_step
+from repro.utils.seeding import new_rng, spawn_rng
+
+__all__ = ["generate_scenes", "simulate_scene"]
+
+
+def simulate_scene(
+    domain: DomainSpec | str,
+    num_frames: int = 120,
+    scene_id: int = 0,
+    rng: np.random.Generator | int | None = None,
+    warmup_frames: int = 20,
+) -> Scene:
+    """Simulate one continuous recording of ``num_frames`` output frames.
+
+    ``warmup_frames`` extra frames are simulated first (and discarded) so the
+    recording starts from a populated steady state rather than an empty
+    scene.
+    """
+    if isinstance(domain, str):
+        domain = get_domain(domain)
+    if num_frames < 1:
+        raise ValueError(f"num_frames must be >= 1, got {num_frames}")
+    rng = new_rng(rng)
+
+    scenario = domain.scenario
+    batch = AgentBatch.empty()
+    next_id = 0
+    spawn_rate = domain.spawn_rate()
+
+    # Recorded positions per agent id: {id: (first_recorded_frame, [positions])}
+    recordings: dict[int, tuple[int, list[np.ndarray]]] = {}
+    finished: list[AgentTrack] = []
+
+    total_frames = warmup_frames + num_frames
+    for frame in range(total_frames):
+        for _ in range(domain.substeps):
+            # Poisson arrivals at the physics rate.
+            for _ in range(rng.poisson(spawn_rate)):
+                event = scenario.spawn(rng)
+                heading = event.goal - event.position
+                norm = np.linalg.norm(heading)
+                velocity = (
+                    heading / norm * event.desired_speed if norm > 1e-9 else np.zeros(2)
+                )
+                batch.append(event.position, velocity, event.goal, event.desired_speed, next_id)
+                next_id += 1
+
+            social_force_step(batch, domain.params, domain.physics_dt, scenario.walls, rng)
+
+            # Goal handling: re-target wanderers, despawn the rest.
+            if batch.num_agents:
+                keep = np.ones(batch.num_agents, dtype=bool)
+                for i in range(batch.num_agents):
+                    if not scenario.is_done(batch.positions[i], batch.goals[i]):
+                        continue
+                    new_goal = scenario.reassign_goal(rng, batch.positions[i])
+                    if new_goal is None:
+                        keep[i] = False
+                    else:
+                        batch.goals[i] = new_goal
+                if not keep.all():
+                    for agent_id in batch.ids[~keep]:
+                        record = recordings.pop(int(agent_id), None)
+                        if record is not None:
+                            start, positions = record
+                            finished.append(
+                                AgentTrack(int(agent_id), start, np.array(positions))
+                            )
+                    batch.remove(keep)
+
+        # Record one output frame (after warmup).
+        if frame < warmup_frames:
+            continue
+        out_frame = frame - warmup_frames
+        for i, agent_id in enumerate(batch.ids):
+            key = int(agent_id)
+            if key not in recordings:
+                recordings[key] = (out_frame, [])
+            recordings[key][1].append(batch.positions[i].copy())
+
+    for agent_id, (start, positions) in recordings.items():
+        finished.append(AgentTrack(agent_id, start, np.array(positions)))
+
+    tracks = [t for t in finished if t.num_frames >= 2]
+    return Scene(scene_id=scene_id, domain=domain.name, dt=domain.frame_dt, tracks=tracks)
+
+
+def generate_scenes(
+    domain: DomainSpec | str,
+    num_scenes: int = 4,
+    frames_per_scene: int = 120,
+    rng: np.random.Generator | int | None = None,
+) -> list[Scene]:
+    """Generate ``num_scenes`` independent recordings for one domain."""
+    if isinstance(domain, str):
+        domain = get_domain(domain)
+    if num_scenes < 1:
+        raise ValueError(f"num_scenes must be >= 1, got {num_scenes}")
+    rng = new_rng(rng)
+    children = spawn_rng(rng, num_scenes)
+    return [
+        simulate_scene(domain, frames_per_scene, scene_id=i, rng=children[i])
+        for i in range(num_scenes)
+    ]

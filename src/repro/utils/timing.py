@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers used by the inference-latency experiment (Table VIII)."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> t = Timer()
+    >>> with t.measure():
+    ...     _ = sum(range(10))
+    >>> t.count
+    1
+    """
+
+    total: float = 0.0
+    count: int = 0
+    laps: list[float] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            lap = time.perf_counter() - start
+            self.total += lap
+            self.count += 1
+            self.laps.append(lap)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.laps.clear()
+
+
+def timed(fn: Callable, *args, repeats: int = 1, **kwargs) -> tuple[object, float]:
+    """Call ``fn`` ``repeats`` times; return (last result, mean seconds per call)."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    timer = Timer()
+    result = None
+    for _ in range(repeats):
+        with timer.measure():
+            result = fn(*args, **kwargs)
+    return result, timer.mean

@@ -1,0 +1,177 @@
+"""Tests for AdapTrajModel: feature routing, variants, losses, inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptraj import AdapTrajModel, VARIANTS
+from repro.core.config import AdapTrajConfig
+from repro.models import build_backbone
+
+from tests.models.test_backbones import make_batch
+
+
+def make_model(variant="full", num_domains=3, rng=7, **cfg_kwargs):
+    config = AdapTrajConfig(**cfg_kwargs)
+    backbone = build_backbone("pecnet", rng=rng, context_size=config.context_size)
+    return AdapTrajModel(
+        backbone, num_domains=num_domains, config=config, variant=variant, rng=rng
+    )
+
+
+def domain_batch(num_domains=3, batch_size=6, rng=None):
+    batch = make_batch(batch_size=batch_size, rng=rng or np.random.default_rng(3))
+    batch.domain_ids = np.arange(batch_size) % num_domains
+    return batch
+
+
+class TestConstruction:
+    def test_context_size_must_match(self):
+        backbone = build_backbone("pecnet", context_size=5)
+        with pytest.raises(ValueError, match="context_size"):
+            AdapTrajModel(backbone, num_domains=2)
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            make_model(variant="no_everything")
+
+    def test_parameter_groups_partition_all_params(self):
+        model = make_model()
+        groups = model.parameter_groups()
+        assert set(groups) == {"backbone", "invariant", "specific", "aggregator"}
+        grouped = [id(p) for params in groups.values() for p in params]
+        assert len(grouped) == len(set(grouped))
+        assert len(grouped) == len(model.parameters())
+
+
+class TestFeatureRouting:
+    def test_teacher_routing_uses_own_expert(self, rng):
+        model = make_model()
+        batch = domain_batch()
+        enc = model.backbone.encode(batch)
+        feats = model.compute_features(enc, batch.domain_ids, use_aggregator=False)
+        ind_all = model.specific.individual_all(enc.h_ei.detach())
+        for row, k in enumerate(batch.domain_ids):
+            np.testing.assert_allclose(
+                feats["spec_i"].data[row], ind_all.data[k, row], atol=1e-12
+            )
+
+    def test_student_routing_uses_aggregator(self, rng):
+        model = make_model()
+        batch = domain_batch()
+        enc = model.backbone.encode(batch)
+        teacher = model.compute_features(enc, batch.domain_ids, use_aggregator=False)
+        student = model.compute_features(
+            enc, batch.domain_ids, masked_domain=0, use_aggregator=True
+        )
+        assert not np.allclose(teacher["spec_i"].data, student["spec_i"].data)
+
+    def test_context_width(self):
+        model = make_model()
+        batch = domain_batch()
+        enc = model.backbone.encode(batch)
+        feats = model.compute_features(enc, batch.domain_ids)
+        assert feats["context"].shape == (batch.size, model.config.context_size)
+
+    def test_fused_features_bounded(self):
+        model = make_model()
+        batch = domain_batch()
+        enc = model.backbone.encode(batch)
+        feats = model.compute_features(enc, batch.domain_ids)
+        assert np.all(np.abs(feats["context"].data) <= 1.0)
+
+    def test_no_specific_variant_zeroes_specific(self):
+        model = make_model(variant="no_specific")
+        batch = domain_batch()
+        enc = model.backbone.encode(batch)
+        feats = model.compute_features(enc, batch.domain_ids)
+        np.testing.assert_allclose(feats["spec_i"].data, 0.0)
+        np.testing.assert_allclose(feats["h_s"].data, 0.0)
+        assert np.abs(feats["h_i"].data).max() > 0
+
+    def test_no_invariant_variant_zeroes_invariant(self):
+        model = make_model(variant="no_invariant")
+        batch = domain_batch()
+        enc = model.backbone.encode(batch)
+        feats = model.compute_features(enc, batch.domain_ids)
+        np.testing.assert_allclose(feats["h_i"].data, 0.0)
+        assert np.abs(feats["h_s"].data).max() > 0
+
+
+class TestTrainingForward:
+    def test_terms_populated(self, rng):
+        model = make_model()
+        batch = domain_batch()
+        terms = model.training_forward(batch, rng, delta=1.0)
+        assert np.isfinite(terms.total.item())
+        assert terms.base > 0
+        assert terms.recon >= 0
+        assert terms.diff >= 0
+        assert terms.similar > 0
+        assert terms.distill == 0.0  # aggregator unused
+
+    def test_distill_active_when_masked(self, rng):
+        model = make_model()
+        batch = domain_batch()
+        batch.domain_ids[:] = 1  # single-domain batch as in Alg. 1 phases 2-3
+        terms = model.training_forward(
+            batch, rng, delta=0.1, masked_domain=1, use_aggregator=True
+        )
+        assert terms.distill > 0
+
+    def test_delta_scales_aux(self, rng):
+        model = make_model()
+        batch = domain_batch()
+        t0 = model.training_forward(batch, np.random.default_rng(5), delta=0.0)
+        t1 = model.training_forward(batch, np.random.default_rng(5), delta=1.0)
+        aux = (
+            model.config.alpha * t1.recon
+            + model.config.beta * t1.diff
+            + model.config.gamma * t1.similar
+        )
+        assert t1.total.item() == pytest.approx(t0.total.item() + aux, rel=1e-6)
+
+    def test_no_specific_drops_difference_loss(self, rng):
+        model = make_model(variant="no_specific")
+        terms = model.training_forward(domain_batch(), rng, delta=1.0)
+        assert terms.diff == 0.0
+
+    def test_backbone_untouched_by_aux_gradients(self, rng):
+        """Extractor inputs are detached: with delta>0 but base loss
+        removed, no gradient reaches the backbone encoder."""
+        model = make_model()
+        batch = domain_batch()
+        enc = model.backbone.encode(batch)
+        feats = model.compute_features(enc, batch.domain_ids)
+        from repro.core.losses import difference_loss
+
+        difference_loss(feats["inv_i"], feats["spec_i"]).backward()
+        assert all(
+            p.grad is None or np.abs(p.grad).max() == 0
+            for p in model.backbone.parameters()
+        )
+
+
+class TestInference:
+    def test_predict_shape(self, rng):
+        model = make_model()
+        batch = domain_batch()
+        samples = model.predict(batch, num_samples=2, rng=rng)
+        assert samples.shape == (2, batch.size, model.backbone.pred_len, 2)
+
+    def test_inference_ignores_domain_ids(self, rng):
+        """On an unseen target domain the ids are meaningless; prediction
+        must not depend on them."""
+        model = make_model()
+        batch = domain_batch()
+        a = model.predict(batch, rng=np.random.default_rng(9))
+        batch.domain_ids = np.zeros_like(batch.domain_ids)
+        b = model.predict(batch, rng=np.random.default_rng(9))
+        np.testing.assert_allclose(a, b)
+
+    def test_all_variants_predict(self, rng):
+        for variant in VARIANTS:
+            model = make_model(variant=variant)
+            samples = model.predict(domain_batch(), rng=rng)
+            assert np.all(np.isfinite(samples))

@@ -1,0 +1,138 @@
+"""Tests for the AdapTraj framework losses (SIMSE, difference, adversarial)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.extractors import DomainClassifier
+from repro.core.losses import difference_loss, domain_adversarial_loss, simse_loss
+from repro.nn import Tensor
+
+finite = st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False)
+
+
+class TestSimse:
+    def test_zero_for_identical(self, rng):
+        x = rng.normal(size=(4, 16))
+        assert simse_loss(x, Tensor(x)).item() == pytest.approx(0.0)
+
+    def test_invariant_to_constant_offset(self, rng):
+        """The scale-invariant property: a constant per-sample shift of the
+        reconstruction does not change the loss (Eigen et al.)."""
+        x = rng.normal(size=(4, 16))
+        recon = rng.normal(size=(4, 16))
+        base = simse_loss(x, Tensor(recon)).item()
+        shifted = simse_loss(x, Tensor(recon + 3.7)).item()
+        assert shifted == pytest.approx(base, abs=1e-9)
+
+    def test_positive_for_shape_errors(self, rng):
+        x = rng.normal(size=(4, 16))
+        recon = x * -1.0  # same values, inverted shape
+        assert simse_loss(x, Tensor(recon)).item() > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(np.float64, (3, 8), elements=finite),
+        arrays(np.float64, (3, 8), elements=finite),
+    )
+    def test_nonnegative(self, x, recon):
+        # (1/m)||d||^2 - (1/m^2)(sum d)^2 >= 0 by Cauchy-Schwarz.
+        assert simse_loss(x, Tensor(recon)).item() >= -1e-9
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            simse_loss(np.zeros((2, 4)), Tensor(np.zeros((2, 5))))
+        with pytest.raises(ValueError, match=r"\[batch, m\]"):
+            simse_loss(np.zeros((2, 4, 2)), Tensor(np.zeros((2, 4, 2))))
+
+    def test_gradient_flows_to_reconstruction(self, rng):
+        recon = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        simse_loss(rng.normal(size=(3, 6)), recon).backward()
+        assert recon.grad is not None
+
+
+class TestDifferenceLoss:
+    def test_zero_for_orthogonal_features(self):
+        # ||H_i^T H_s||_F^2 measures correlation between feature columns
+        # *across the batch*: use batch patterns that are orthogonal.
+        pattern_a = np.array([1.0, -1.0, 1.0, -1.0])  # zero-mean
+        pattern_b = np.array([1.0, 1.0, -1.0, -1.0])  # orthogonal to pattern_a
+        inv = Tensor(np.stack([pattern_a, 2 * pattern_a], axis=1))
+        spec = Tensor(np.stack([pattern_b, -pattern_b], axis=1))
+        assert difference_loss(inv, spec).item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_large_for_identical_features(self, rng):
+        x = Tensor(rng.normal(size=(8, 4)))
+        assert difference_loss(x, x).item() > 0.01
+
+    def test_orthogonal_beats_aligned(self, rng):
+        base = rng.normal(size=(16, 4))
+        aligned = difference_loss(Tensor(base), Tensor(base * 2.0)).item()
+        rotated = np.roll(rng.normal(size=(16, 4)), 1, axis=1)
+        independent = difference_loss(Tensor(base), Tensor(rotated)).item()
+        assert independent < aligned
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            difference_loss(Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 4))))
+
+    def test_gradients_flow_to_both(self, rng):
+        inv = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        spec = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        difference_loss(inv, spec).backward()
+        assert inv.grad is not None and spec.grad is not None
+
+    def test_stable_for_zero_features(self):
+        zero = Tensor(np.zeros((4, 3)), requires_grad=True)
+        other = Tensor(np.ones((4, 3)), requires_grad=True)
+        loss = difference_loss(zero, other)
+        loss.backward()
+        assert np.isfinite(loss.item())
+        assert np.all(np.isfinite(zero.grad))
+
+
+class TestDomainAdversarialLoss:
+    def make_features(self, rng, batch=6, f=4):
+        return [
+            Tensor(rng.normal(size=(batch, f)), requires_grad=True) for _ in range(4)
+        ]
+
+    def test_loss_positive_and_finite(self, rng):
+        classifier = DomainClassifier(feature_dim=4, num_domains=3, rng=rng)
+        feats = self.make_features(rng)
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        loss = domain_adversarial_loss(classifier, *feats, labels)
+        assert np.isfinite(loss.item())
+        assert loss.item() > 0
+
+    def test_gradient_reversed_on_invariant_only(self, rng):
+        """The invariant features' gradients oppose the specific features'
+        classification direction (gradient reversal)."""
+        classifier = DomainClassifier(feature_dim=4, num_domains=2, rng=rng)
+        batch = 4
+        labels = np.array([0, 1, 0, 1])
+        shared = rng.normal(size=(batch, 4))
+        inv_i = Tensor(shared, requires_grad=True)
+        spec_i = Tensor(shared.copy(), requires_grad=True)
+        inv_n = Tensor(np.zeros((batch, 4)), requires_grad=True)
+        spec_n = Tensor(np.zeros((batch, 4)), requires_grad=True)
+        # Tie the classifier weights so the two identical inputs receive
+        # comparable raw gradients.
+        w = classifier.net.net[0].weight
+        w.data[0:4] = w.data[8:12]
+        loss = domain_adversarial_loss(classifier, inv_i, inv_n, spec_i, spec_n, labels)
+        loss.backward()
+        np.testing.assert_allclose(inv_i.grad, -spec_i.grad, atol=1e-10)
+
+    def test_reversal_scale(self, rng):
+        classifier = DomainClassifier(feature_dim=4, num_domains=2, rng=rng)
+        labels = np.array([0, 1])
+        feats1 = [Tensor(np.ones((2, 4)), requires_grad=True) for _ in range(4)]
+        feats2 = [Tensor(np.ones((2, 4)), requires_grad=True) for _ in range(4)]
+        domain_adversarial_loss(classifier, *feats1, labels, reversal_scale=1.0).backward()
+        domain_adversarial_loss(classifier, *feats2, labels, reversal_scale=2.0).backward()
+        np.testing.assert_allclose(2.0 * feats1[0].grad, feats2[0].grad, atol=1e-10)

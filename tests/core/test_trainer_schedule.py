@@ -1,0 +1,174 @@
+"""Tests for the three-phase AdapTraj training schedule (Alg. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptraj import AdapTrajModel
+from repro.core.config import AdapTrajConfig, TrainConfig
+from repro.core.trainer import AdapTrajMethod
+from repro.data.dataset import TrajectoryDataset, TrajectorySample
+from repro.models import build_backbone
+from repro.nn import Adam
+
+
+def tiny_dataset(num_domains=2, per_domain=12, rng=None):
+    rng = rng or np.random.default_rng(0)
+    domains = [f"dom{i}" for i in range(num_domains)]
+    samples = []
+    for d, domain in enumerate(domains):
+        for i in range(per_domain):
+            obs = rng.normal(size=(8, 2)).cumsum(axis=0) * 0.1
+            obs -= obs[-1]
+            samples.append(
+                TrajectorySample(
+                    obs=obs,
+                    future=rng.normal(size=(12, 2)).cumsum(axis=0) * 0.1,
+                    neighbours=rng.normal(size=(2, 8, 2)),
+                    domain=domain,
+                    scene_id=d,
+                    frame=i,
+                )
+            )
+    return TrajectoryDataset(samples, domains=domains)
+
+
+def make_method(epochs=10, num_domains=2, **cfg_kwargs):
+    config = AdapTrajConfig(**cfg_kwargs)
+    backbone = build_backbone("pecnet", rng=1, context_size=config.context_size)
+    model = AdapTrajModel(backbone, num_domains=num_domains, config=config, rng=1)
+    train_config = TrainConfig(epochs=epochs, batch_size=8, eval_samples=1)
+    return AdapTrajMethod(model, train_config)
+
+
+class TestPhaseBoundaries:
+    def test_config_boundaries(self):
+        cfg = AdapTrajConfig(start_fraction=0.5, end_fraction=0.8)
+        assert cfg.phase_boundaries(300) == (150, 240)
+        assert cfg.phase_boundaries(10) == (5, 8)
+
+    def test_boundaries_clamped(self):
+        cfg = AdapTrajConfig(start_fraction=0.5, end_fraction=1.0)
+        e_start, e_end = cfg.phase_boundaries(4)
+        assert 1 <= e_start <= e_end <= 4
+
+    def test_phase_assignment(self):
+        method = make_method(start_fraction=0.5, end_fraction=0.8)
+        assert method.current_phase(0, 10) == 1
+        assert method.current_phase(4, 10) == 1
+        assert method.current_phase(5, 10) == 2
+        assert method.current_phase(7, 10) == 2
+        assert method.current_phase(8, 10) == 3
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            AdapTrajConfig(start_fraction=0.9, end_fraction=0.5)
+        with pytest.raises(ValueError):
+            AdapTrajConfig(start_fraction=0.0)
+
+
+class TestOptimizerSchedule:
+    def setup_optimizer(self, method):
+        method.optimizer = Adam(
+            method.parameter_groups(), lr=method.config.learning_rate
+        )
+
+    def test_phase1_freezes_aggregator(self):
+        method = make_method(start_fraction=0.5, end_fraction=0.8)
+        self.setup_optimizer(method)
+        method.on_epoch_start(0, 10)
+        opt = method.optimizer
+        assert opt.group("aggregator").frozen
+        assert not opt.group("specific").frozen
+        assert opt.group("backbone").lr_scale == 1.0
+
+    def test_phase2_freezes_specific_and_boosts_aggregator(self):
+        method = make_method(start_fraction=0.5, end_fraction=0.8)
+        self.setup_optimizer(method)
+        method.on_epoch_start(5, 10)
+        opt = method.optimizer
+        cfg = method.model.config
+        assert opt.group("specific").frozen
+        assert not opt.group("aggregator").frozen
+        assert opt.group("aggregator").lr_scale == cfg.f_high
+        assert opt.group("backbone").lr_scale == cfg.f_low
+        assert method._delta == cfg.delta_prime
+
+    def test_phase3_trains_everything_at_low_lr(self):
+        method = make_method(start_fraction=0.5, end_fraction=0.8)
+        self.setup_optimizer(method)
+        method.on_epoch_start(9, 10)
+        opt = method.optimizer
+        cfg = method.model.config
+        for name in ("backbone", "invariant", "specific", "aggregator"):
+            assert not opt.group(name).frozen
+            assert opt.group(name).lr_scale == cfg.f_low
+
+    def test_aggregator_weights_static_in_phase1(self):
+        method = make_method(epochs=4, start_fraction=1.0, end_fraction=1.0)
+        before = {
+            name: p.data.copy()
+            for name, p in method.model.aggregator.named_parameters()
+        }
+        method.fit(tiny_dataset())
+        after = dict(method.model.aggregator.named_parameters())
+        for name, data in before.items():
+            np.testing.assert_allclose(after[name].data, data)
+
+    def test_specific_weights_static_in_phase2(self):
+        # All epochs in phase 2: start at epoch 0... use fractions to pin.
+        method = make_method(epochs=4, start_fraction=0.25, end_fraction=1.0)
+        method.fit(tiny_dataset())  # 1 epoch phase 1, 3 epochs phase 2
+        # Re-run phase-2 epochs manually to confirm freezing behaviour via
+        # optimizer state instead: specific group frozen during phase 2.
+        method.on_epoch_start(2, 4)
+        assert method.optimizer.group("specific").frozen
+
+
+class TestEpochBatches:
+    def test_phase1_yields_mixed_batches(self):
+        method = make_method()
+        method._phase = 1
+        train = tiny_dataset()
+        batches = list(method.epoch_batches(train, epoch=0))
+        assert sum(b.size for b in batches) == len(train)
+
+    def test_phase2_batches_are_single_domain(self):
+        method = make_method(sigma=1.0)
+        method._phase = 2
+        train = tiny_dataset()
+        for batch in method.epoch_batches(train, epoch=5):
+            assert len(set(batch.domain_ids.tolist())) == 1
+
+    def test_sigma_one_always_masks(self):
+        method = make_method(sigma=1.0)
+        method._phase = 2
+        train = tiny_dataset()
+        for batch in method.epoch_batches(train, epoch=5):
+            assert method._use_aggregator
+            assert method._masked_domain == int(batch.domain_ids[0])
+
+    def test_sigma_zero_never_masks(self):
+        method = make_method(sigma=0.0)
+        method._phase = 2
+        train = tiny_dataset()
+        for _ in method.epoch_batches(train, epoch=5):
+            assert not method._use_aggregator
+            assert method._masked_domain is None
+
+
+class TestEndToEnd:
+    def test_fit_reduces_loss(self):
+        method = make_method(epochs=8)
+        result = method.fit(tiny_dataset(per_domain=24))
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+        assert result.train_seconds > 0
+
+    def test_val_history_recorded(self):
+        method = make_method(epochs=4)
+        data = tiny_dataset(per_domain=16)
+        result = method.fit(data, val=data, eval_every=2)
+        assert len(result.val_history) == 2
+        for epoch, ade, fde in result.val_history:
+            assert np.isfinite(ade) and np.isfinite(fde)

@@ -1,0 +1,203 @@
+"""Tests for windowing, TrajectoryDataset, and batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import (
+    Batch,
+    TrajectoryDataset,
+    TrajectorySample,
+    extract_samples,
+)
+from repro.data.trajectory import AgentTrack, Scene
+
+
+def linear_track(agent_id, start, length, origin=(0.0, 0.0), step=(1.0, 0.0)):
+    t = np.arange(length, dtype=np.float64)[:, None]
+    return AgentTrack(
+        agent_id, start, np.asarray(origin) + t * np.asarray(step)
+    )
+
+
+@pytest.fixture
+def scene():
+    """Three agents: two full-length, one only covering early frames."""
+    return Scene(
+        scene_id=5,
+        domain="eth_ucy",
+        dt=0.4,
+        tracks=[
+            linear_track(0, 0, 30),
+            linear_track(1, 0, 30, origin=(0.0, 2.0)),
+            linear_track(2, 0, 10, origin=(0.0, 4.0)),
+        ],
+    )
+
+
+class TestTrajectorySample:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="obs"):
+            TrajectorySample(np.zeros((8, 3)), np.zeros((12, 2)), np.zeros((0, 8, 2)), "d")
+        with pytest.raises(ValueError, match="future"):
+            TrajectorySample(np.zeros((8, 2)), np.zeros((12, 3)), np.zeros((0, 8, 2)), "d")
+        with pytest.raises(ValueError, match="neighbour window"):
+            TrajectorySample(np.zeros((8, 2)), np.zeros((12, 2)), np.zeros((1, 5, 2)), "d")
+
+    def test_empty_neighbours_normalized(self):
+        s = TrajectorySample(np.zeros((8, 2)), np.zeros((12, 2)), np.zeros((0,)), "d")
+        assert s.neighbours.shape == (0, 8, 2)
+        assert s.num_neighbours == 0
+
+
+class TestExtractSamples:
+    def test_focal_needs_full_window(self, scene):
+        samples = extract_samples(scene, obs_len=8, pred_len=12, stride=1)
+        # Agent 2 (10 frames) can never be focal; agents 0/1 can, for
+        # window starts 0..10 inclusive.
+        focal_counts = {}
+        for s in samples:
+            focal_counts[s.frame] = focal_counts.get(s.frame, 0) + 1
+        assert all(count == 2 for count in focal_counts.values())
+        assert len(samples) == 2 * 11
+
+    def test_partial_agent_counts_as_neighbour(self, scene):
+        samples = extract_samples(scene, stride=1)
+        first = [s for s in samples if s.frame == 0]
+        # At window 0, agent 2 covers the obs part (frames 0..8) -> neighbour.
+        assert all(s.num_neighbours == 2 for s in first)
+        late = [s for s in samples if s.frame == 10]
+        assert all(s.num_neighbours == 1 for s in late)
+
+    def test_window_contents_match_track(self, scene):
+        samples = extract_samples(scene, stride=1)
+        s = samples[0]
+        np.testing.assert_allclose(s.obs[:, 0], np.arange(8.0))
+        np.testing.assert_allclose(s.future[:, 0], np.arange(8.0, 20.0))
+
+    def test_stride_reduces_samples(self, scene):
+        dense = extract_samples(scene, stride=1)
+        sparse = extract_samples(scene, stride=5)
+        assert len(sparse) < len(dense)
+
+    def test_max_neighbours_keeps_nearest(self):
+        tracks = [linear_track(0, 0, 20)] + [
+            linear_track(i, 0, 20, origin=(0.0, float(i))) for i in range(1, 6)
+        ]
+        scene = Scene(0, "d", 0.4, tracks)
+        samples = extract_samples(scene, stride=20, max_neighbours=2)
+        focal0 = next(s for s in samples if np.allclose(s.obs[0], [0, 0]))
+        assert focal0.num_neighbours == 2
+        # Nearest two neighbours are at y=1 and y=2.
+        ys = sorted(focal0.neighbours[:, 0, 1])
+        assert ys == [1.0, 2.0]
+
+    def test_rejects_bad_stride(self, scene):
+        with pytest.raises(ValueError):
+            extract_samples(scene, stride=0)
+
+
+class TestTrajectoryDataset:
+    def make_dataset(self, scene):
+        return TrajectoryDataset(extract_samples(scene, stride=2))
+
+    def test_domain_mapping(self, scene):
+        ds = self.make_dataset(scene)
+        assert ds.domains == ["eth_ucy"]
+        assert ds.domain_id("eth_ucy") == 0
+        assert ds.num_domains == 1
+
+    def test_explicit_domains_preserved(self, scene):
+        ds = TrajectoryDataset(
+            extract_samples(scene, stride=4), domains=["syi", "eth_ucy"]
+        )
+        assert ds.domain_id("eth_ucy") == 1
+
+    def test_unknown_sample_domain_rejected(self, scene):
+        with pytest.raises(ValueError, match="not listed"):
+            TrajectoryDataset(extract_samples(scene, stride=4), domains=["syi"])
+
+    def test_subset_preserves_domains(self, scene):
+        ds = TrajectoryDataset(
+            extract_samples(scene, stride=4), domains=["syi", "eth_ucy"]
+        )
+        sub = ds.subset([0, 1])
+        assert len(sub) == 2
+        assert sub.domains == ["syi", "eth_ucy"]
+
+    def test_by_domain_and_counts(self, scene):
+        ds = self.make_dataset(scene)
+        assert len(ds.by_domain("eth_ucy")) == len(ds)
+        assert ds.domain_counts() == {"eth_ucy": len(ds)}
+
+    def test_merge_unions_domains(self, scene):
+        a = TrajectoryDataset(extract_samples(scene, stride=8), domains=["eth_ucy"])
+        other_scene = Scene(
+            1, "syi", 0.4, [linear_track(0, 0, 25), linear_track(1, 0, 25)]
+        )
+        b = TrajectoryDataset(extract_samples(other_scene, stride=8), domains=["syi"])
+        merged = TrajectoryDataset.merge([a, b])
+        assert merged.domains == ["eth_ucy", "syi"]
+        assert len(merged) == len(a) + len(b)
+
+
+class TestCollate:
+    def test_normalization(self, scene):
+        ds = TrajectoryDataset(extract_samples(scene, stride=2))
+        batch = ds.collate(range(4))
+        np.testing.assert_allclose(batch.obs[:, -1, :], 0.0, atol=1e-12)
+        # Future positions continue from the origin in the same direction.
+        assert np.all(batch.future[:, 0, 0] > 0)
+
+    def test_denormalize_roundtrip(self, scene):
+        ds = TrajectoryDataset(extract_samples(scene, stride=2))
+        batch = ds.collate(range(4))
+        restored = batch.denormalize(batch.future)
+        raw = np.stack([ds.samples[i].future for i in range(4)])
+        np.testing.assert_allclose(restored, raw)
+
+    def test_padding_and_mask(self, scene):
+        ds = TrajectoryDataset(extract_samples(scene, stride=2))
+        batch = ds.collate(range(len(ds)), max_neighbours=3)
+        assert batch.neighbours.shape[1] == 3
+        # Padded slots are exactly zero.
+        assert np.all(batch.neighbours[~batch.neighbour_mask] == 0.0)
+
+    def test_max_neighbours_truncates_to_nearest(self):
+        tracks = [linear_track(0, 0, 20)] + [
+            linear_track(i, 0, 20, origin=(0.0, float(i * 2))) for i in range(1, 5)
+        ]
+        scene = Scene(0, "d", 0.4, tracks)
+        ds = TrajectoryDataset(extract_samples(scene, stride=20))
+        focal0_idx = next(
+            i for i, s in enumerate(ds.samples) if np.allclose(s.obs[0], [0, 0])
+        )
+        batch = ds.collate([focal0_idx], max_neighbours=1)
+        assert batch.neighbour_mask.sum() == 1
+        # The kept neighbour is the closest one (y offset 2).
+        assert np.allclose(batch.neighbours[0, 0, 0, 1], 2.0)
+
+    def test_empty_batch_rejected(self, scene):
+        ds = TrajectoryDataset(extract_samples(scene, stride=2))
+        with pytest.raises(ValueError):
+            ds.collate([])
+
+    def test_batches_cover_dataset(self, scene, rng):
+        ds = TrajectoryDataset(extract_samples(scene, stride=2))
+        seen = 0
+        for batch in ds.batches(4, rng=rng):
+            seen += batch.size
+        assert seen == len(ds)
+
+    def test_drop_last(self, scene, rng):
+        ds = TrajectoryDataset(extract_samples(scene, stride=2))
+        sizes = [b.size for b in ds.batches(4, rng=rng, drop_last=True)]
+        assert all(s == 4 for s in sizes)
+
+    def test_shuffle_false_is_ordered(self, scene):
+        ds = TrajectoryDataset(extract_samples(scene, stride=2))
+        batch = next(ds.batches(len(ds), shuffle=False))
+        np.testing.assert_allclose(
+            batch.future[0], ds.samples[0].future - ds.samples[0].obs[-1]
+        )

@@ -1,0 +1,146 @@
+"""Tests for resampling, coordinate conversion, and chronological splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TrajectoryDataset, TrajectorySample
+from repro.data.preprocess import pixels_to_world, resample_scene, resample_track
+from repro.data.splits import chronological_split
+from repro.data.trajectory import AgentTrack, Scene
+
+
+class TestResampleTrack:
+    def test_identity_rate(self):
+        track = AgentTrack(0, 0, np.stack([np.arange(5.0), np.zeros(5)], axis=1))
+        out = resample_track(track, source_dt=0.4, target_dt=0.4)
+        np.testing.assert_allclose(out.positions, track.positions)
+
+    def test_downsample_by_interpolation(self):
+        # 1 Hz positions x = t; resample to 0.5s -> x = 0.5 * frame.
+        track = AgentTrack(0, 0, np.stack([np.arange(5.0), np.zeros(5)], axis=1))
+        out = resample_track(track, source_dt=1.0, target_dt=0.5)
+        np.testing.assert_allclose(out.positions[:, 0], np.arange(9) * 0.5)
+
+    def test_upsample_high_rate_source(self):
+        # 30 Hz source (like SDD) resampled to 0.4 s.
+        n = 121
+        track = AgentTrack(0, 0, np.stack([np.arange(n) / 30.0, np.zeros(n)], axis=1))
+        out = resample_track(track, source_dt=1 / 30.0, target_dt=0.4)
+        assert out.num_frames == 11  # 4 seconds span -> frames 0..10
+        np.testing.assert_allclose(out.positions[:, 0], np.arange(11) * 0.4, atol=1e-9)
+
+    def test_offset_start_lands_on_grid(self):
+        track = AgentTrack(0, 3, np.stack([np.arange(10.0), np.ones(10)], axis=1))
+        out = resample_track(track, source_dt=1.0, target_dt=0.4)
+        # Start time 3.0 s -> grid frame ceil(3.0/0.4) = 8 (t = 3.2 s).
+        assert out.start_frame == 8
+        np.testing.assert_allclose(out.positions[0, 0], 0.2, atol=1e-9)
+
+    def test_too_short_track_keeps_single_point(self):
+        track = AgentTrack(0, 1, np.array([[1.0, 2.0], [1.1, 2.0]]))
+        out = resample_track(track, source_dt=0.1, target_dt=10.0)
+        assert out.num_frames == 1
+
+    def test_rejects_bad_rates(self):
+        track = AgentTrack(0, 0, np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            resample_track(track, source_dt=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.05, max_value=1.0))
+    def test_linear_motion_preserved(self, source_dt):
+        """Resampling a constant-velocity track keeps it constant-velocity."""
+        n = 50
+        positions = np.stack([np.arange(n) * 0.3, np.arange(n) * -0.1], axis=1)
+        track = AgentTrack(0, 0, positions)
+        out = resample_track(track, source_dt=source_dt, target_dt=0.4)
+        if out.num_frames >= 3:
+            v = np.diff(out.positions, axis=0)
+            np.testing.assert_allclose(v, np.broadcast_to(v[0], v.shape), atol=1e-6)
+
+
+class TestResampleScene:
+    def test_scene_rate_converted(self):
+        tracks = [
+            AgentTrack(0, 0, np.stack([np.arange(20.0), np.zeros(20)], axis=1))
+        ]
+        scene = Scene(0, "sdd", dt=0.1, tracks=tracks)
+        out = resample_scene(scene)
+        assert out.dt == pytest.approx(0.4)
+        assert out.tracks[0].num_frames < 20
+
+    def test_noop_when_already_target(self):
+        scene = Scene(0, "x", dt=0.4, tracks=[])
+        assert resample_scene(scene) is scene
+
+
+class TestPixelsToWorld:
+    def test_scalar_scale(self):
+        out = pixels_to_world(np.array([[100.0, 200.0]]), 0.05)
+        np.testing.assert_allclose(out, [[5.0, 10.0]])
+
+    def test_per_axis_scale_and_origin(self):
+        out = pixels_to_world(
+            np.array([[110.0, 220.0]]), (0.1, 0.2), origin_px=(10.0, 20.0)
+        )
+        np.testing.assert_allclose(out, [[10.0, 40.0]])
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            pixels_to_world(np.zeros((1, 2)), 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pixels_to_world(np.zeros((1, 2)), (1.0, 2.0, 3.0))
+
+
+def sample_at(frame, scene_id=0, domain="a"):
+    return TrajectorySample(
+        obs=np.zeros((8, 2)),
+        future=np.zeros((12, 2)),
+        neighbours=np.zeros((0, 8, 2)),
+        domain=domain,
+        scene_id=scene_id,
+        frame=frame,
+    )
+
+
+class TestChronologicalSplit:
+    def test_ratio_sizes(self):
+        ds = TrajectoryDataset([sample_at(i) for i in range(10)])
+        splits = chronological_split(ds)
+        assert splits.sizes() == (6, 2, 2)
+
+    def test_chronology_strict(self):
+        ds = TrajectoryDataset([sample_at(i) for i in np.random.permutation(20)])
+        splits = chronological_split(ds)
+        max_train = max(s.frame for s in splits.train.samples)
+        min_val = min(s.frame for s in splits.val.samples)
+        min_test = min(s.frame for s in splits.test.samples)
+        assert max_train < min_val
+        assert max(s.frame for s in splits.val.samples) < min_test
+
+    def test_per_domain_split(self):
+        samples = [sample_at(i, domain="a") for i in range(10)] + [
+            sample_at(i, domain="b") for i in range(5)
+        ]
+        splits = chronological_split(TrajectoryDataset(samples))
+        assert splits.train.domain_counts() == {"a": 6, "b": 3}
+        assert splits.test.domain_counts()["b"] >= 1
+
+    def test_scene_id_orders_before_frame(self):
+        samples = [sample_at(5, scene_id=1), sample_at(0, scene_id=2)]
+        ds = TrajectoryDataset(samples)
+        splits = chronological_split(ds, ratios=(0.5, 0.0, 0.5))
+        assert splits.train.samples[0].scene_id == 1
+
+    def test_invalid_ratios(self):
+        ds = TrajectoryDataset([sample_at(0)])
+        with pytest.raises(ValueError):
+            chronological_split(ds, ratios=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            chronological_split(ds, ratios=(0.9, 0.2, -0.1))

@@ -1,0 +1,89 @@
+"""Integration tests: full pipeline from simulation to evaluation.
+
+These exercise the whole stack the way the experiment harness does, at a
+micro scale: simulate domains, window, split, train each learning method on
+each backbone, and check that training improves over the untrained model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import METHOD_NAMES, build_method
+from repro.core.config import TrainConfig
+from repro.data import DataConfig, load_domain_dataset, load_multi_domain
+
+FAST = TrainConfig(epochs=4, batch_size=16, max_batches_per_epoch=4, eval_samples=1)
+DATA = DataConfig(num_scenes=1, frames_per_scene=50, stride=6, max_neighbours=4)
+SOURCES = ["eth_ucy", "lcas"]
+DOMAINS = ["eth_ucy", "lcas", "sdd"]
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    train = load_multi_domain(SOURCES, DATA, domains=DOMAINS)
+    target = load_domain_dataset("sdd", DATA, domains=DOMAINS)
+    return train, target
+
+
+@pytest.mark.parametrize("backbone", ["pecnet", "lbebm"])
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_training_beats_untrained(datasets, backbone, method):
+    train, target = datasets
+    kwargs = {"langevin_steps": 3} if backbone == "lbebm" else {}
+    learner = build_method(
+        method, backbone, num_domains=len(SOURCES), train_config=FAST, rng=5, **kwargs
+    )
+    before_ade, _ = learner.evaluate(target.test)
+    result = learner.fit(train.train)
+    after_ade, after_fde = learner.evaluate(target.test)
+    assert np.isfinite(after_ade) and np.isfinite(after_fde)
+    assert result.epoch_losses[-1] < result.epoch_losses[0]
+    if method != "counter":
+        # Counter's served output is a difference of two predictions; at
+        # micro training budgets the subtraction need not beat the untrained
+        # near-zero prediction on an unseen domain (it is *expected* to
+        # degrade relative to vanilla — that is the paper's point).
+        assert after_ade < before_ade
+
+
+def test_multi_domain_training_set_is_merged(datasets):
+    train, _ = datasets
+    counts = train.train.domain_counts()
+    assert counts["eth_ucy"] > 0
+    assert counts["lcas"] > 0
+    assert counts["sdd"] == 0
+
+
+def test_plug_and_play_contract():
+    """AdapTraj must accept any TrajectoryBackbone without modification."""
+    from repro.core import AdapTrajConfig, AdapTrajModel
+    from repro.models import build_backbone
+
+    config = AdapTrajConfig(feature_dim=8)
+    for name in ("pecnet", "lbebm"):
+        kwargs = {"langevin_steps": 2} if name == "lbebm" else {}
+        backbone = build_backbone(name, context_size=config.context_size, **kwargs)
+        model = AdapTrajModel(backbone, num_domains=2, config=config)
+        assert model.backbone is backbone
+
+
+def test_checkpoint_roundtrip_preserves_predictions(datasets, tmp_path):
+    from repro.nn import load_module, save_module
+
+    train, target = datasets
+    learner = build_method(
+        "adaptraj", "pecnet", num_domains=len(SOURCES), train_config=FAST, rng=6
+    )
+    learner.fit(train.train)
+    batch = target.test.collate(range(min(8, len(target.test))))
+    before = learner.model.predict(batch, rng=0)
+
+    save_module(tmp_path / "model", learner.model)
+    fresh = build_method(
+        "adaptraj", "pecnet", num_domains=len(SOURCES), train_config=FAST, rng=777
+    )
+    load_module(tmp_path / "model", fresh.model)
+    after = fresh.model.predict(batch, rng=0)
+    np.testing.assert_allclose(before, after)

@@ -1,0 +1,108 @@
+"""Tests for ADE/FDE metrics, including property-based invariances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import ade, ade_fde, best_of_ade_fde, fde
+
+finite = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+
+
+def trajectories(batch=2, steps=4):
+    return arrays(np.float64, (batch, steps, 2), elements=finite)
+
+
+class TestAdeFde:
+    def test_zero_for_identical(self):
+        t = np.random.default_rng(0).normal(size=(3, 12, 2))
+        assert ade(t, t) == 0.0
+        assert fde(t, t) == 0.0
+
+    def test_known_values(self):
+        pred = np.zeros((1, 2, 2))
+        target = np.array([[[3.0, 4.0], [0.0, 1.0]]])
+        assert ade(pred, target) == pytest.approx((5.0 + 1.0) / 2)
+        assert fde(pred, target) == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ade(np.zeros((1, 2, 2)), np.zeros((1, 3, 2)))
+        with pytest.raises(ValueError, match="trajectories"):
+            ade(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_ade_fde_consistency(self):
+        rng = np.random.default_rng(1)
+        pred, target = rng.normal(size=(2, 4, 6, 2))
+        a, f = ade_fde(pred, target)
+        assert a == pytest.approx(ade(pred, target))
+        assert f == pytest.approx(fde(pred, target))
+
+    @settings(max_examples=25, deadline=None)
+    @given(trajectories(), trajectories())
+    def test_nonnegative(self, pred, target):
+        assert ade(pred, target) >= 0.0
+        assert fde(pred, target) >= 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(trajectories(), trajectories(), st.tuples(finite, finite))
+    def test_translation_invariance(self, pred, target, shift):
+        """Shifting both prediction and target leaves the metrics unchanged."""
+        offset = np.array(shift)
+        assert ade(pred + offset, target + offset) == pytest.approx(ade(pred, target))
+        assert fde(pred + offset, target + offset) == pytest.approx(fde(pred, target))
+
+    @settings(max_examples=25, deadline=None)
+    @given(trajectories(), trajectories())
+    def test_fde_leq_max_step_error(self, pred, target):
+        per_step = np.linalg.norm(pred - target, axis=-1)
+        assert fde(pred, target) <= per_step.max(axis=1).mean() + 1e-9
+
+
+class TestBestOf:
+    def test_picks_best_sample_per_agent(self):
+        target = np.zeros((2, 3, 2))
+        good_for_0 = np.zeros((2, 3, 2))
+        good_for_0[1] += 5.0  # bad for agent 1
+        good_for_1 = np.zeros((2, 3, 2))
+        good_for_1[0] += 5.0  # bad for agent 0
+        samples = np.stack([good_for_0, good_for_1])
+        best_ade, best_fde = best_of_ade_fde(samples, target)
+        assert best_ade == pytest.approx(0.0)
+        assert best_fde == pytest.approx(0.0)
+
+    def test_single_sample_matches_plain_metrics(self):
+        rng = np.random.default_rng(2)
+        pred = rng.normal(size=(4, 6, 2))
+        target = rng.normal(size=(4, 6, 2))
+        best_ade, best_fde = best_of_ade_fde(pred[None], target)
+        assert best_ade == pytest.approx(ade(pred, target))
+        assert best_fde == pytest.approx(fde(pred, target))
+
+    def test_more_samples_never_worse(self):
+        rng = np.random.default_rng(3)
+        target = rng.normal(size=(5, 8, 2))
+        samples = rng.normal(size=(6, 5, 8, 2))
+        ade_3, _ = best_of_ade_fde(samples[:3], target)
+        ade_6, _ = best_of_ade_fde(samples, target)
+        assert ade_6 <= ade_3 + 1e-12
+
+    def test_fde_reported_for_min_ade_sample(self):
+        """FDE follows the ADE-optimal sample (PECNet protocol), so it can
+        exceed the FDE-optimal value."""
+        target = np.zeros((1, 2, 2))
+        # Sample 0: great ADE, bad FDE.  Sample 1: bad ADE, perfect FDE.
+        s0 = np.array([[[0.0, 0.0], [0.0, 1.0]]])
+        s1 = np.array([[[9.0, 0.0], [0.0, 0.0]]])
+        _, best_fde = best_of_ade_fde(np.stack([s0, s1]), target)
+        assert best_fde == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            best_of_ade_fde(np.zeros((2, 3, 2)), np.zeros((2, 3, 2)))
+        with pytest.raises(ValueError):
+            best_of_ade_fde(np.zeros((1, 2, 3, 2)), np.zeros((2, 4, 2)))

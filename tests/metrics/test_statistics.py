@@ -1,0 +1,61 @@
+"""Tests for the Table I statistics computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.trajectory import AgentTrack, Scene
+from repro.metrics.statistics import compute_statistics
+
+
+def constant_velocity_scene(vx=1.0, vy=0.0, n_agents=3, length=30, domain="d"):
+    tracks = []
+    for i in range(n_agents):
+        t = np.arange(length, dtype=np.float64)
+        positions = np.stack([vx * t, vy * t + i], axis=1)
+        tracks.append(AgentTrack(i, 0, positions))
+    return Scene(0, domain, 0.4, tracks)
+
+
+class TestComputeStatistics:
+    def test_velocity_means(self):
+        stats = compute_statistics([constant_velocity_scene(vx=2.0, vy=0.5)])
+        assert stats.vx_mean == pytest.approx(2.0)
+        assert stats.vy_mean == pytest.approx(0.5)
+        assert stats.vx_std == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_acceleration_for_constant_velocity(self):
+        stats = compute_statistics([constant_velocity_scene()])
+        assert stats.ax_mean == pytest.approx(0.0, abs=1e-12)
+        assert stats.ay_mean == pytest.approx(0.0, abs=1e-12)
+
+    def test_sequence_count(self):
+        # length 30, window 20 -> 11 window starts, 3 focal agents each.
+        stats = compute_statistics([constant_velocity_scene(n_agents=3, length=30)])
+        assert stats.num_sequences == 33
+
+    def test_density(self):
+        stats = compute_statistics([constant_velocity_scene(n_agents=5)])
+        assert stats.num_agents_mean == pytest.approx(5.0)
+
+    def test_rejects_mixed_domains(self):
+        scenes = [
+            constant_velocity_scene(domain="a"),
+            constant_velocity_scene(domain="b"),
+        ]
+        with pytest.raises(ValueError, match="multiple domains"):
+            compute_statistics(scenes)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            compute_statistics([])
+
+    def test_velocity_uses_absolute_values(self):
+        stats = compute_statistics([constant_velocity_scene(vx=-1.5)])
+        assert stats.vx_mean == pytest.approx(1.5)
+
+    def test_as_row_format(self):
+        row = compute_statistics([constant_velocity_scene()]).as_row()
+        assert row["domain"] == "d"
+        assert "/" in row["Avg/Std v(x)"]

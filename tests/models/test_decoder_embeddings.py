@@ -1,0 +1,81 @@
+"""Tests for trajectory decoders and embedding modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.decoder import (
+    MLPTrajectoryDecoder,
+    RecurrentTrajectoryDecoder,
+    cumulative_positions,
+)
+from repro.models.embeddings import StepEmbedding, WindowEmbedding
+from repro.nn import Tensor
+
+
+class TestCumulativePositions:
+    def test_matches_cumsum(self, rng):
+        offsets = rng.normal(size=(3, 5, 2))
+        out = cumulative_positions(Tensor(offsets))
+        np.testing.assert_allclose(out.data, np.cumsum(offsets, axis=1))
+
+    def test_gradients_flow(self, rng):
+        offsets = Tensor(rng.normal(size=(2, 4, 2)), requires_grad=True)
+        cumulative_positions(offsets).sum().backward()
+        # Earlier offsets affect more outputs -> larger gradient.
+        assert offsets.grad[0, 0, 0] == pytest.approx(4.0)
+        assert offsets.grad[0, -1, 0] == pytest.approx(1.0)
+
+
+class TestDecoders:
+    @pytest.mark.parametrize("cls", [MLPTrajectoryDecoder, RecurrentTrajectoryDecoder])
+    def test_output_shape(self, cls, rng):
+        decoder = cls(in_features=10, pred_len=12, rng=rng)
+        out = decoder(Tensor(rng.normal(size=(4, 10))))
+        assert out.shape == (4, 12, 2)
+
+    @pytest.mark.parametrize("cls", [MLPTrajectoryDecoder, RecurrentTrajectoryDecoder])
+    def test_differentiable(self, cls, rng):
+        decoder = cls(in_features=6, pred_len=5, rng=rng)
+        x = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        decoder(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).max() > 0
+
+    def test_recurrent_steps_are_coupled(self, rng):
+        """In the recurrent decoder, each step feeds the next (Eq. 6)."""
+        decoder = RecurrentTrajectoryDecoder(in_features=4, pred_len=6, rng=rng)
+        x = rng.normal(size=(1, 4))
+        out1 = decoder(Tensor(x)).data.copy()
+        # Perturb the input: all steps should change, not just the first.
+        out2 = decoder(Tensor(x + 0.5)).data
+        changed = np.abs(out1 - out2).sum(axis=-1)[0]
+        assert np.all(changed > 0)
+
+
+class TestEmbeddings:
+    def test_window_embedding_shapes(self, rng):
+        emb = WindowEmbedding(obs_len=8, out_features=16, rng=rng)
+        assert emb(Tensor(rng.normal(size=(4, 8, 2)))).shape == (4, 16)
+        assert emb(Tensor(rng.normal(size=(4, 3, 8, 2)))).shape == (4, 3, 16)
+
+    def test_window_embedding_validates(self, rng):
+        emb = WindowEmbedding(obs_len=8, out_features=16, rng=rng)
+        with pytest.raises(ValueError):
+            emb(Tensor(np.zeros((4, 7, 2))))
+
+    def test_step_embedding_shapes(self, rng):
+        emb = StepEmbedding(out_features=10, rng=rng)
+        assert emb(Tensor(rng.normal(size=(4, 8, 2)))).shape == (4, 8, 10)
+
+    def test_step_embedding_per_step_independence(self, rng):
+        """Each timestep is embedded independently of the others."""
+        emb = StepEmbedding(out_features=10, rng=rng)
+        window = rng.normal(size=(1, 8, 2))
+        full = emb(Tensor(window)).data
+        modified = window.copy()
+        modified[0, 3] += 10.0
+        partial = emb(Tensor(modified)).data
+        np.testing.assert_allclose(full[0, :3], partial[0, :3])
+        assert not np.allclose(full[0, 3], partial[0, 3])

@@ -1,0 +1,51 @@
+"""Numeric gradient checking utilities for the autodiff engine tests."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. ``inputs[index]``."""
+    base = [np.array(x, dtype=np.float64) for x in inputs]
+    grad = np.zeros_like(base[index])
+    flat = grad.reshape(-1)
+    target = base[index].reshape(-1)
+    for i in range(target.size):
+        original = target[i]
+        target[i] = original + eps
+        plus = fn(*[Tensor(x) for x in base]).item()
+        target[i] = original - eps
+        minus = fn(*[Tensor(x) for x in base]).item()
+        target[i] = original
+        flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_gradients_close(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-6,
+    rtol: float = 1e-4,
+) -> None:
+    """Check analytic gradients of scalar ``fn`` against central differences."""
+    tensors = [Tensor(np.array(x, dtype=np.float64), requires_grad=True) for x in inputs]
+    out = fn(*tensors)
+    assert out.size == 1, "gradcheck requires a scalar output"
+    out.backward()
+    for i, tensor in enumerate(tensors):
+        expected = numeric_gradient(fn, inputs, i)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(expected)
+        np.testing.assert_allclose(
+            actual, expected, atol=atol, rtol=rtol,
+            err_msg=f"analytic/numeric gradient mismatch for input {i}",
+        )

@@ -1,0 +1,114 @@
+"""Tests for the neighbour-interaction encoders (SocialAttention / SocialPooling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SocialAttention, SocialPooling, Tensor
+
+
+@pytest.fixture
+def batch(rng):
+    focal = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+    neighbours = Tensor(rng.normal(size=(3, 4, 5)), requires_grad=True)
+    mask = np.array(
+        [
+            [True, True, True, False],
+            [True, False, False, False],
+            [False, False, False, False],  # no neighbours at all
+        ]
+    )
+    return focal, neighbours, mask
+
+
+class TestSocialAttention:
+    def test_output_shape(self, rng, batch):
+        focal, neighbours, mask = batch
+        att = SocialAttention(6, 5, 10, rng=rng)
+        out = att(focal, neighbours, mask)
+        assert out.shape == (3, 10)
+
+    def test_agent_without_neighbours_gets_zero_interaction(self, rng, batch):
+        focal, neighbours, mask = batch
+        att = SocialAttention(6, 5, 10, rng=rng)
+        out = att(focal, neighbours, mask)
+        np.testing.assert_allclose(out.data[2], 0.0)
+
+    def test_padded_neighbours_do_not_influence_output(self, rng, batch):
+        focal, neighbours, mask = batch
+        att = SocialAttention(6, 5, 10, rng=rng)
+        out1 = att(focal, neighbours, mask).data.copy()
+        corrupted = neighbours.data.copy()
+        corrupted[~mask] = 1e6  # garbage in padded slots
+        out2 = att(focal, Tensor(corrupted), mask).data
+        np.testing.assert_allclose(out1, out2, atol=1e-8)
+
+    def test_gradients_reach_focal_and_neighbours(self, rng, batch):
+        focal, neighbours, mask = batch
+        att = SocialAttention(6, 5, 10, rng=rng)
+        att(focal, neighbours, mask).sum().backward()
+        assert focal.grad is not None
+        assert neighbours.grad is not None
+        # Padded slots receive zero gradient.
+        np.testing.assert_allclose(neighbours.grad[~mask], 0.0)
+
+    def test_rejects_2d_neighbours(self, rng):
+        att = SocialAttention(6, 5, 10, rng=rng)
+        with pytest.raises(ValueError):
+            att(Tensor(np.ones((2, 6))), Tensor(np.ones((2, 5))), np.ones((2, 1), bool))
+
+    def test_attention_weights_favor_similar_neighbour(self, rng):
+        """A neighbour whose key aligns with the query should dominate."""
+        att = SocialAttention(4, 4, 4, attention_dim=4, rng=rng)
+        # Make query == key projections identity-ish by setting weights.
+        att.query.weight.data[...] = np.eye(4)
+        att.query.bias.data[...] = 0
+        att.key.weight.data[...] = np.eye(4)
+        att.key.bias.data[...] = 0
+        att.value.weight.data[...] = np.eye(4)
+        att.value.bias.data[...] = 0
+        focal = Tensor(np.array([[10.0, 0.0, 0.0, 0.0]]))
+        neighbours = Tensor(
+            np.array([[[10.0, 0, 0, 0], [-10.0, 0, 0, 0]]])
+        )
+        mask = np.array([[True, True]])
+        out = att(focal, neighbours, mask)
+        # Output should be dominated by the aligned (first) neighbour.
+        assert out.data[0, 0] > 9.0
+
+
+class TestSocialPooling:
+    def test_output_shape(self, rng, batch):
+        focal, neighbours, mask = batch
+        pool = SocialPooling(5, 12, rng=rng)
+        assert pool(focal, neighbours, mask).shape == (3, 12)
+
+    def test_rejects_odd_out_features(self, rng):
+        with pytest.raises(ValueError, match="even"):
+            SocialPooling(5, 7, rng=rng)
+
+    def test_no_neighbours_gives_zero(self, rng, batch):
+        focal, neighbours, mask = batch
+        pool = SocialPooling(5, 8, rng=rng)
+        out = pool(focal, neighbours, mask)
+        np.testing.assert_allclose(out.data[2], 0.0)
+
+    def test_padding_invariance(self, rng, batch):
+        focal, neighbours, mask = batch
+        pool = SocialPooling(5, 8, rng=rng)
+        out1 = pool(focal, neighbours, mask).data.copy()
+        corrupted = neighbours.data.copy()
+        corrupted[~mask] = -1e5
+        out2 = pool(focal, Tensor(corrupted), mask).data
+        np.testing.assert_allclose(out1, out2, atol=1e-8)
+
+    def test_permutation_invariance(self, rng):
+        """Pooling must not depend on neighbour ordering."""
+        pool = SocialPooling(5, 8, rng=rng)
+        focal = Tensor(rng.normal(size=(1, 6)))
+        nbrs = rng.normal(size=(1, 3, 5))
+        mask = np.array([[True, True, True]])
+        out1 = pool(focal, Tensor(nbrs), mask).data.copy()
+        out2 = pool(focal, Tensor(nbrs[:, [2, 0, 1]]), mask).data
+        np.testing.assert_allclose(out1, out2, atol=1e-10)

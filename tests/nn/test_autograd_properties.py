@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for autodiff invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from tests.nn.gradcheck import assert_gradients_close
+
+finite_floats = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+def small_arrays(max_side: int = 4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(), finite_floats)
+def test_scalar_mul_gradient_is_constant(data, scale):
+    x = Tensor(data, requires_grad=True)
+    (x * scale).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(data, scale))
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays())
+def test_tanh_gradcheck_property(data):
+    assert_gradients_close(lambda x: x.tanh().sum(), [data], atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_arrays())
+def test_sigmoid_bounded_and_gradcheck(data):
+    x = Tensor(data, requires_grad=True)
+    y = x.sigmoid()
+    assert np.all(y.data > 0) and np.all(y.data < 1)
+    assert_gradients_close(lambda t: t.sigmoid().sum(), [data], atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+        elements=finite_floats,
+    )
+)
+def test_softmax_rows_sum_to_one(logits):
+    probs = F.softmax(Tensor(logits), axis=-1)
+    np.testing.assert_allclose(probs.data.sum(axis=-1), 1.0, atol=1e-12)
+    assert np.all(probs.data >= 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 5)),
+        elements=finite_floats,
+    ),
+    finite_floats,
+)
+def test_softmax_shift_invariance(logits, shift):
+    """softmax(x + c) == softmax(x) — the numerical-stability property."""
+    a = F.softmax(Tensor(logits), axis=-1).data
+    b = F.softmax(Tensor(logits + shift), axis=-1).data
+    np.testing.assert_allclose(a, b, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_mse_of_identical_inputs_is_zero(data):
+    loss = F.mse_loss(Tensor(data, requires_grad=True), Tensor(data))
+    assert loss.item() == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(), small_arrays())
+def test_mse_nonnegative(a, b):
+    if a.shape != b.shape:
+        return
+    assert F.mse_loss(Tensor(a), Tensor(b)).item() >= 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 5)),
+        elements=finite_floats,
+    )
+)
+def test_gaussian_kl_nonnegative(mu):
+    logvar = np.zeros_like(mu)
+    kl = F.gaussian_kl(Tensor(mu), Tensor(logvar))
+    assert kl.item() >= -1e-12
+
+
+def test_gaussian_kl_zero_at_standard_normal():
+    mu = Tensor(np.zeros((3, 2)))
+    logvar = Tensor(np.zeros((3, 2)))
+    assert abs(F.gaussian_kl(mu, logvar).item()) < 1e-12

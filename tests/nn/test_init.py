@@ -1,0 +1,81 @@
+"""Tests for the weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, init
+
+
+class TestBasicInitializers:
+    def test_zeros_ones(self):
+        p = Parameter(np.full((3, 3), 7.0))
+        init.zeros_(p)
+        np.testing.assert_allclose(p.data, 0.0)
+        init.ones_(p)
+        np.testing.assert_allclose(p.data, 1.0)
+
+    def test_uniform_bounds(self, rng):
+        p = Parameter(np.empty((50, 50)))
+        init.uniform_(p, rng, -0.2, 0.3)
+        assert p.data.min() >= -0.2
+        assert p.data.max() <= 0.3
+
+    def test_normal_statistics(self, rng):
+        p = Parameter(np.empty((100, 100)))
+        init.normal_(p, rng, mean=1.0, std=0.5)
+        assert abs(p.data.mean() - 1.0) < 0.02
+        assert abs(p.data.std() - 0.5) < 0.02
+
+
+class TestXavierKaiming:
+    def test_xavier_uniform_bound(self, rng):
+        p = Parameter(np.empty((64, 64)))
+        init.xavier_uniform_(p, rng)
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(p.data).max() <= bound + 1e-12
+
+    def test_xavier_normal_std(self, rng):
+        p = Parameter(np.empty((200, 200)))
+        init.xavier_normal_(p, rng)
+        expected = np.sqrt(2.0 / 400)
+        assert abs(p.data.std() - expected) / expected < 0.05
+
+    def test_kaiming_scales_with_fan_in(self, rng):
+        narrow = Parameter(np.empty((4, 64)))
+        wide = Parameter(np.empty((400, 64)))
+        init.kaiming_uniform_(narrow, rng)
+        init.kaiming_uniform_(wide, rng)
+        assert np.abs(narrow.data).max() > np.abs(wide.data).max()
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self, rng):
+        p = Parameter(np.empty((16, 16)))
+        init.orthogonal_(p, rng)
+        np.testing.assert_allclose(p.data @ p.data.T, np.eye(16), atol=1e-10)
+
+    def test_tall_matrix_columns_orthonormal(self, rng):
+        p = Parameter(np.empty((20, 8)))
+        init.orthogonal_(p, rng)
+        np.testing.assert_allclose(p.data.T @ p.data, np.eye(8), atol=1e-10)
+
+    def test_wide_matrix_rows_orthonormal(self, rng):
+        p = Parameter(np.empty((8, 20)))
+        init.orthogonal_(p, rng)
+        np.testing.assert_allclose(p.data @ p.data.T, np.eye(8), atol=1e-10)
+
+    def test_gain_applied(self, rng):
+        p = Parameter(np.empty((8, 8)))
+        init.orthogonal_(p, rng, gain=2.0)
+        np.testing.assert_allclose(p.data @ p.data.T, 4.0 * np.eye(8), atol=1e-10)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            init.orthogonal_(Parameter(np.empty(5)), rng)
+
+    def test_deterministic_given_generator_state(self):
+        a = init.orthogonal_(Parameter(np.empty((6, 6))), np.random.default_rng(1))
+        b = init.orthogonal_(Parameter(np.empty((6, 6))), np.random.default_rng(1))
+        np.testing.assert_allclose(a.data, b.data)

@@ -1,0 +1,164 @@
+"""Tests for optimizers, parameter groups, and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Parameter, SGD, Tensor, clip_grad_norm
+from repro.nn import functional as F
+from repro.nn.layers import MLP
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+class TestSGD:
+    def test_single_step_math(self):
+        p = quadratic_param(2.0)
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([4.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.4])
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.5)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = (Tensor(np.array([1.0])) * p * p).sum()
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step is ~lr in magnitude."""
+        p = quadratic_param(0.0)
+        opt = Adam([p], lr=0.5)
+        p.grad = np.array([3.0])
+        opt.step()
+        np.testing.assert_allclose(abs(p.data[0]), 0.5, rtol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        opt = Adam([p], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_weight_decay_shrinks_weights(self):
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.0)
+
+
+class TestParameterGroups:
+    def make_groups(self):
+        a = quadratic_param(1.0)
+        b = quadratic_param(1.0)
+        opt = SGD({"fast": [a], "slow": [b]}, lr=1.0)
+        return a, b, opt
+
+    def test_lr_scale_per_group(self):
+        a, b, opt = self.make_groups()
+        opt.set_lr_scale("fast", 1.0)
+        opt.set_lr_scale("slow", 0.1)
+        a.grad = np.array([1.0])
+        b.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(a.data, [0.0])
+        np.testing.assert_allclose(b.data, [0.9])
+
+    def test_frozen_group_not_updated(self):
+        a, b, opt = self.make_groups()
+        opt.set_frozen("slow", True)
+        a.grad = np.array([1.0])
+        b.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(a.data, [0.0])
+        np.testing.assert_allclose(b.data, [1.0])
+
+    def test_unknown_group_raises(self):
+        _, _, opt = self.make_groups()
+        with pytest.raises(KeyError, match="nope"):
+            opt.group("nope")
+
+    def test_duplicate_params_rejected(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError, match="multiple"):
+            SGD({"a": [p], "b": [p]}, lr=0.1)
+
+    def test_set_all_lr_scales(self):
+        a, b, opt = self.make_groups()
+        opt.set_all_lr_scales(0.5)
+        assert all(g.lr_scale == 0.5 for g in opt.groups)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradient(self):
+        p = quadratic_param()
+        p.grad = np.array([30.0])
+        norm = clip_grad_norm([p], max_norm=3.0)
+        assert norm == pytest.approx(30.0)
+        np.testing.assert_allclose(p.grad, [3.0], rtol=1e-6)
+
+    def test_leaves_small_gradient(self):
+        p = quadratic_param()
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=3.0)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_global_norm_across_params(self):
+        a, b = quadratic_param(), quadratic_param()
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_ignores_none_grads(self):
+        p = quadratic_param()
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+
+class TestEndToEndTraining:
+    def test_adam_beats_initialization_on_regression(self, rng):
+        mlp = MLP([3, 24, 24, 1], rng=rng)
+        x = rng.normal(size=(64, 3))
+        y = np.sin(x.sum(axis=1, keepdims=True))
+        opt = Adam(mlp.parameters(), lr=5e-3)
+        first = None
+        for step in range(80):
+            opt.zero_grad()
+            loss = F.mse_loss(mlp(Tensor(x)), Tensor(y))
+            loss.backward()
+            clip_grad_norm(mlp.parameters(), 5.0)
+            opt.step()
+            if first is None:
+                first = loss.item()
+        assert loss.item() < 0.25 * first

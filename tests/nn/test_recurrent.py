@@ -1,0 +1,104 @@
+"""Tests for LSTM / GRU cells and the sequence encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import GRUCell, LSTM, LSTMCell, Tensor
+
+from tests.nn.gradcheck import assert_gradients_close
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = LSTMCell(3, 8, rng=rng)
+        h, c = cell(Tensor(rng.normal(size=(4, 3))))
+        assert h.shape == (4, 8)
+        assert c.shape == (4, 8)
+
+    def test_state_threading(self, rng):
+        cell = LSTMCell(3, 8, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3)))
+        h1, c1 = cell(x)
+        h2, c2 = cell(x, (h1, c1))
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        np.testing.assert_allclose(cell.bias.data[4:8], 1.0)
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = LSTMCell(3, 8, rng=rng)
+        h, _ = cell(Tensor(rng.normal(size=(4, 3)) * 100))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_gradcheck_inputs(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+
+        def fn(x):
+            h, c = cell(x)
+            return (h * h).sum() + c.sum()
+
+        assert_gradients_close(fn, [rng.normal(size=(2, 2))], atol=1e-5)
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = GRUCell(3, 6, rng=rng)
+        h = cell(Tensor(rng.normal(size=(5, 3))))
+        assert h.shape == (5, 6)
+
+    def test_gradcheck_inputs(self, rng):
+        cell = GRUCell(2, 3, rng=rng)
+        assert_gradients_close(
+            lambda x: (cell(x) ** 2).sum(), [rng.normal(size=(2, 2))], atol=1e-5
+        )
+
+    def test_interpolates_between_candidate_and_state(self, rng):
+        cell = GRUCell(2, 4, rng=rng)
+        h0 = Tensor(rng.normal(size=(3, 4)))
+        h1 = cell(Tensor(rng.normal(size=(3, 2))), h0)
+        # GRU output is a convex combination of state and tanh candidate.
+        assert np.all(h1.data <= np.maximum(h0.data, 1.0) + 1e-9)
+        assert np.all(h1.data >= np.minimum(h0.data, -1.0) - 1e-9)
+
+
+class TestLSTMEncoder:
+    def test_output_shapes(self, rng):
+        lstm = LSTM(3, 8, rng=rng)
+        outputs, (h, c) = lstm(Tensor(rng.normal(size=(4, 6, 3))))
+        assert outputs.shape == (4, 6, 8)
+        assert h.shape == (4, 8)
+        assert c.shape == (4, 8)
+
+    def test_final_hidden_equals_last_output(self, rng):
+        lstm = LSTM(3, 8, rng=rng)
+        outputs, (h, _) = lstm(Tensor(rng.normal(size=(2, 5, 3))))
+        np.testing.assert_allclose(outputs.data[:, -1, :], h.data)
+
+    def test_rejects_2d_input(self, rng):
+        lstm = LSTM(3, 4, rng=rng)
+        try:
+            lstm(Tensor(np.ones((4, 3))))
+        except ValueError as err:
+            assert "batch, time, features" in str(err)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_gradients_flow_to_early_steps(self, rng):
+        lstm = LSTM(2, 4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 6, 2)), requires_grad=True)
+        _, (h, _) = lstm(x)
+        h.sum().backward()
+        assert x.grad is not None
+        # The first timestep must receive nonzero gradient through the chain.
+        assert np.abs(x.grad[:, 0, :]).max() > 0
+
+    def test_sequence_gradcheck(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+
+        def fn(x):
+            _, (h, _) = lstm(x)
+            return (h * h).sum()
+
+        assert_gradients_close(fn, [rng.normal(size=(1, 3, 2))], atol=1e-5)

@@ -1,0 +1,250 @@
+"""Gradient and semantics tests for the core Tensor operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, cat, grad_reverse, no_grad, stack, where
+
+from tests.nn.gradcheck import assert_gradients_close
+
+
+class TestArithmetic:
+    def test_add_gradcheck(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(3, 4))
+        assert_gradients_close(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_add_broadcast_gradcheck(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4,))
+        assert_gradients_close(lambda x, y: (x + y).sum(), [a, b])
+
+    def test_mul_gradcheck(self, rng):
+        a = rng.normal(size=(2, 5))
+        b = rng.normal(size=(2, 5))
+        assert_gradients_close(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_mul_broadcast_scalar_shape(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(1, 1))
+        assert_gradients_close(lambda x, y: (x * y).sum(), [a, b])
+
+    def test_div_gradcheck(self, rng):
+        a = rng.normal(size=(3, 3))
+        b = rng.uniform(1.0, 2.0, size=(3, 3))
+        assert_gradients_close(lambda x, y: (x / y).sum(), [a, b])
+
+    def test_pow_gradcheck(self, rng):
+        a = rng.uniform(0.5, 2.0, size=(4,))
+        assert_gradients_close(lambda x: (x**3).sum(), [a])
+
+    def test_rsub_and_radd(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (5.0 - x) + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, -1.0])
+
+    def test_neg_gradcheck(self, rng):
+        a = rng.normal(size=(3,))
+        assert_gradients_close(lambda x: (-x).sum(), [a])
+
+    def test_matmul_gradcheck(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(4, 2))
+        assert_gradients_close(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_batched_matmul_gradcheck(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 2))
+        assert_gradients_close(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_broadcast_gradcheck(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(4, 5))
+        assert_gradients_close(lambda x, y: (x @ y).sum(), [a, b])
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ValueError, match="matmul"):
+            Tensor(np.ones(3)) @ Tensor(np.ones((3, 2)))
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name",
+        ["exp", "tanh", "sigmoid", "sqrt", "abs", "relu", "leaky_relu"],
+    )
+    def test_unary_gradcheck(self, rng, name):
+        a = rng.uniform(0.2, 2.0, size=(3, 3))  # positive, away from kinks
+        assert_gradients_close(lambda x: getattr(x, name)().sum(), [a])
+
+    def test_log_gradcheck(self, rng):
+        a = rng.uniform(0.5, 3.0, size=(4,))
+        assert_gradients_close(lambda x: x.log().sum(), [a])
+
+    def test_relu_zeroes_negatives(self):
+        x = Tensor([-1.0, 0.5], requires_grad=True)
+        y = x.relu()
+        np.testing.assert_allclose(y.data, [0.0, 0.5])
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_clip_gradient_masking(self):
+        x = Tensor([-2.0, 0.0, 2.0], requires_grad=True)
+        y = x.clip(-1.0, 1.0)
+        np.testing.assert_allclose(y.data, [-1.0, 0.0, 1.0])
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis_gradcheck(self, rng):
+        a = rng.normal(size=(3, 4, 2))
+        assert_gradients_close(lambda x: x.sum(axis=1).sum(), [a])
+
+    def test_sum_negative_axis(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert_gradients_close(lambda x: x.sum(axis=-1).sum(), [a])
+
+    def test_sum_keepdims_shape(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert x.sum(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_mean_matches_numpy(self, rng):
+        data = rng.normal(size=(4, 5))
+        x = Tensor(data)
+        np.testing.assert_allclose(x.mean(axis=0).data, data.mean(axis=0))
+        np.testing.assert_allclose(x.mean().data, data.mean())
+
+    def test_mean_gradcheck(self, rng):
+        a = rng.normal(size=(2, 6))
+        assert_gradients_close(lambda x: x.mean(axis=-1).sum(), [a])
+
+    def test_max_gradcheck_unique(self, rng):
+        # Use well-separated values so the argmax never flips under eps.
+        a = np.array([[1.0, 5.0, 2.0], [9.0, 3.0, 4.0]])
+        assert_gradients_close(lambda x: x.max(axis=1).sum(), [a])
+
+    def test_max_splits_gradient_among_ties(self):
+        x = Tensor([[2.0, 2.0, 1.0]], requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapes:
+    def test_reshape_gradcheck(self, rng):
+        a = rng.normal(size=(2, 6))
+        assert_gradients_close(lambda x: (x.reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose_gradcheck(self, rng):
+        a = rng.normal(size=(2, 3))
+        assert_gradients_close(lambda x: (x.transpose(0, 1) ** 2).sum(), [a])
+
+    def test_getitem_slice_gradcheck(self, rng):
+        a = rng.normal(size=(4, 5))
+        assert_gradients_close(lambda x: (x[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_integer_array(self, rng):
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        idx = np.array([0, 0, 3])
+        y = x[idx]
+        y.sum().backward()
+        expected = np.zeros((5, 2))
+        expected[0] = 2.0  # row selected twice accumulates twice
+        expected[3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_squeeze_unsqueeze_roundtrip(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        y = x.unsqueeze(1).squeeze(1)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_broadcast_to_gradient_sums(self):
+        x = Tensor([[1.0], [2.0]], requires_grad=True)
+        y = x.broadcast_to((2, 3))
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [[3.0], [3.0]])
+
+
+class TestCombinators:
+    def test_cat_gradcheck(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 2))
+        assert_gradients_close(lambda x, y: (cat([x, y], axis=1) ** 2).sum(), [a, b])
+
+    def test_cat_axis0(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(1, 3))
+        assert_gradients_close(lambda x, y: (cat([x, y], axis=0) ** 2).sum(), [a, b])
+
+    def test_stack_gradcheck(self, rng):
+        a = rng.normal(size=(2, 3))
+        b = rng.normal(size=(2, 3))
+        assert_gradients_close(lambda x, y: (stack([x, y], axis=1) ** 2).sum(), [a, b])
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+        out = where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestAutogradMachinery:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x  # x used three times
+        y.backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_diamond_graph(self):
+        x = Tensor([3.0], requires_grad=True)
+        a = x * 2.0
+        b = x + 1.0
+        y = a * b
+        y.backward()
+        # y = 2x(x+1) = 2x^2 + 2x, dy/dx = 4x + 2 = 14
+        np.testing.assert_allclose(x.grad, [14.0])
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError, match="scalar"):
+            (x * 2).backward()
+
+    def test_backward_with_explicit_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        (x * 3.0).backward(np.full((2, 2), 2.0))
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 6.0))
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x.detach() * 2
+        assert not y.requires_grad
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_reverse_flips_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = grad_reverse(x, scale=0.5)
+        np.testing.assert_allclose(y.data, x.data)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [-0.5, -0.5])
+
+    def test_second_backward_accumulates(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        (x * 2).backward()
+        np.testing.assert_allclose(x.grad, [4.0])

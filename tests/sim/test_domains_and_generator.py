@@ -1,0 +1,165 @@
+"""Tests for domain presets, scenarios, and scene generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.statistics import compute_statistics
+from repro.sim import (
+    DOMAIN_NAMES,
+    ConcourseScenario,
+    CorridorScenario,
+    IndoorScenario,
+    PlazaScenario,
+    generate_scenes,
+    get_domain,
+    simulate_scene,
+)
+
+
+class TestDomainRegistry:
+    def test_all_four_domains_available(self):
+        assert set(DOMAIN_NAMES) == {"eth_ucy", "lcas", "syi", "sdd"}
+        for name in DOMAIN_NAMES:
+            spec = get_domain(name)
+            assert spec.name == name
+            assert spec.frame_dt == pytest.approx(0.4)  # paper's frame interval
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ValueError, match="unknown domain"):
+            get_domain("kitti")
+
+    def test_specs_are_fresh_instances(self):
+        a = get_domain("syi")
+        b = get_domain("syi")
+        assert a is not b
+        a.target_population = 1.0
+        assert b.target_population == 35.0
+
+    def test_spawn_rate_positive(self):
+        for name in DOMAIN_NAMES:
+            assert get_domain(name).spawn_rate() > 0
+
+
+class TestScenarios:
+    def test_corridor_spawns_horizontal_flow(self, rng):
+        scenario = CorridorScenario()
+        for _ in range(20):
+            event = scenario.spawn(rng)
+            dx = abs(event.goal[0] - event.position[0])
+            dy = abs(event.goal[1] - event.position[1])
+            assert dx > dy  # predominantly horizontal
+
+    def test_concourse_spawns_vertical_flow(self, rng):
+        scenario = ConcourseScenario()
+        for _ in range(20):
+            event = scenario.spawn(rng)
+            dx = abs(event.goal[0] - event.position[0])
+            dy = abs(event.goal[1] - event.position[1])
+            assert dy > dx  # predominantly vertical
+
+    def test_indoor_reassigns_goals(self, rng):
+        scenario = IndoorScenario(rewander_probability=1.0)
+        goal = scenario.reassign_goal(rng, np.array([5.0, 5.0]))
+        assert goal is not None
+        assert 0 <= goal[0] <= scenario.width
+
+    def test_indoor_despawns_when_probability_zero(self, rng):
+        scenario = IndoorScenario(rewander_probability=0.0)
+        assert scenario.reassign_goal(rng, np.array([5.0, 5.0])) is None
+
+    def test_plaza_goal_far_from_start(self, rng):
+        scenario = PlazaScenario()
+        for _ in range(20):
+            event = scenario.spawn(rng)
+            assert np.linalg.norm(event.goal - event.position) >= 5.0
+
+    def test_plaza_has_fast_cyclists(self, rng):
+        scenario = PlazaScenario(cyclist_fraction=1.0)
+        speeds = [scenario.spawn(rng).desired_speed for _ in range(10)]
+        assert np.mean(speeds) > 2.0
+
+    def test_speed_sampling_floor(self, rng):
+        scenario = CorridorScenario(speed_std=100.0)
+        for _ in range(50):
+            assert scenario.sample_speed(rng) >= 0.1
+
+
+class TestSimulateScene:
+    def test_scene_structure(self):
+        scene = simulate_scene("eth_ucy", num_frames=40, rng=3)
+        assert scene.domain == "eth_ucy"
+        assert scene.dt == pytest.approx(0.4)
+        assert scene.num_agents > 0
+        assert scene.num_frames <= 40
+        for track in scene.tracks:
+            assert track.num_frames >= 2
+            assert track.start_frame >= 0
+            assert track.end_frame <= 40
+
+    def test_deterministic_given_seed(self):
+        a = simulate_scene("lcas", num_frames=30, rng=11)
+        b = simulate_scene("lcas", num_frames=30, rng=11)
+        assert a.num_agents == b.num_agents
+        for ta, tb in zip(a.tracks, b.tracks):
+            np.testing.assert_allclose(ta.positions, tb.positions)
+
+    def test_different_seeds_differ(self):
+        a = simulate_scene("lcas", num_frames=30, rng=11)
+        b = simulate_scene("lcas", num_frames=30, rng=12)
+        assert a.num_agents != b.num_agents or not np.allclose(
+            a.tracks[0].positions[:2], b.tracks[0].positions[:2]
+        )
+
+    def test_rejects_bad_num_frames(self):
+        with pytest.raises(ValueError):
+            simulate_scene("lcas", num_frames=0)
+
+    def test_agents_stay_in_corridor(self):
+        scene = simulate_scene("eth_ucy", num_frames=60, rng=5)
+        corridor = get_domain("eth_ucy").scenario
+        ys = np.concatenate([t.positions[:, 1] for t in scene.tracks])
+        assert ys.min() > -1.0
+        assert ys.max() < corridor.height + 1.0
+
+    def test_generate_scenes_unique_ids(self):
+        scenes = generate_scenes("lcas", num_scenes=3, frames_per_scene=25, rng=4)
+        assert [s.scene_id for s in scenes] == [0, 1, 2]
+
+    def test_generate_scenes_rejects_zero(self):
+        with pytest.raises(ValueError):
+            generate_scenes("lcas", num_scenes=0)
+
+
+class TestTableOneCalibration:
+    """The generated domains must reproduce paper Table I's *orderings*."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return {
+            name: compute_statistics(
+                generate_scenes(name, num_scenes=2, frames_per_scene=80, rng=99)
+            )
+            for name in DOMAIN_NAMES
+        }
+
+    def test_syi_is_densest(self, stats):
+        others = [stats[n].num_agents_mean for n in ("eth_ucy", "lcas", "sdd")]
+        assert stats["syi"].num_agents_mean > max(others)
+
+    def test_lcas_is_slowest(self, stats):
+        lcas_speed = stats["lcas"].vx_mean + stats["lcas"].vy_mean
+        for other in ("eth_ucy", "syi", "sdd"):
+            other_speed = stats[other].vx_mean + stats[other].vy_mean
+            assert lcas_speed < other_speed
+
+    def test_syi_fastest_vertical(self, stats):
+        for other in ("eth_ucy", "lcas", "sdd"):
+            assert stats["syi"].vy_mean > 2 * stats[other].vy_mean
+
+    def test_eth_ucy_is_horizontal(self, stats):
+        assert stats["eth_ucy"].vx_mean > 2 * stats["eth_ucy"].vy_mean
+
+    def test_syi_is_vertical(self, stats):
+        assert stats["syi"].vy_mean > 2 * stats["syi"].vx_mean

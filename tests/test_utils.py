@@ -1,0 +1,72 @@
+"""Tests for the shared utilities (seeding, timing)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, new_rng, seed_everything, spawn_rng, timed
+
+
+class TestSeeding:
+    def test_new_rng_from_int(self):
+        a = new_rng(5)
+        b = new_rng(5)
+        assert a.random() == b.random()
+
+    def test_new_rng_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert new_rng(rng) is rng
+
+    def test_new_rng_default(self):
+        assert new_rng().random() == new_rng(None).random()
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rng(new_rng(3), 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_deterministic(self):
+        a = spawn_rng(new_rng(3), 2)
+        b = spawn_rng(new_rng(3), 2)
+        assert a[0].random() == b[0].random()
+        assert a[1].random() == b[1].random()
+
+    def test_spawn_rejects_zero(self):
+        with pytest.raises(ValueError):
+            spawn_rng(new_rng(3), 0)
+
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(42)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer.measure():
+            time.sleep(0.01)
+        with timer.measure():
+            time.sleep(0.01)
+        assert timer.count == 2
+        assert timer.total >= 0.02
+        assert timer.mean == pytest.approx(timer.total / 2)
+
+    def test_timer_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.count == 0
+        assert timer.total == 0.0
+
+    def test_timed_returns_result_and_mean(self):
+        result, seconds = timed(lambda x: x + 1, 4, repeats=3)
+        assert result == 5
+        assert seconds >= 0
+
+    def test_timed_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            timed(lambda: None, repeats=0)
