@@ -49,7 +49,7 @@ class CausalMotionMethod(LearningMethod):
         diff = prediction - Tensor(batch.future)
         return (diff * diff).mean(axis=(1, 2))
 
-    def training_step(self, batch: Batch) -> Tensor:
+    def training_step(self, batch: Batch, step=None) -> Tensor:
         encoding = self.backbone.encode(batch)
         output = self.backbone.compute_loss(encoding, batch, None, self.rng)
         # Invariance penalty: drive all samples of the (merged) source toward

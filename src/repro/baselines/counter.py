@@ -87,7 +87,7 @@ class CounterMethod(LearningMethod):
             m = self.mean_momentum
             self.mean_obs = m * self.mean_obs + (1.0 - m) * batch_mean
 
-    def training_step(self, batch: Batch) -> Tensor:
+    def training_step(self, batch: Batch, step=None) -> Tensor:
         self._update_mean(batch)
         encoding = self.backbone.encode(batch)
         output = self.backbone.compute_loss(encoding, batch, None, self.rng)

@@ -21,7 +21,7 @@ class VanillaMethod(LearningMethod):
 
     name = "vanilla"
 
-    def training_step(self, batch: Batch) -> Tensor:
+    def training_step(self, batch: Batch, step=None) -> Tensor:
         encoding = self.backbone.encode(batch)
         output = self.backbone.compute_loss(encoding, batch, None, self.rng)
         return output.loss

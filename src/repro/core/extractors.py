@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn import MLP, Module, ModuleList, Tensor, cat, stack
+from repro.nn import MLP, Module, ModuleList, Tensor, cat, select_rows, stack
 from repro.utils.seeding import new_rng
 
 __all__ = [
@@ -123,15 +123,10 @@ class DomainSpecificExtractor(Module):
         ``expert_outputs`` is ``[K, batch, f]``; returns ``[batch, f]`` where
         row ``b`` comes from expert ``domain_ids[b]``.
         """
-        domain_ids = np.asarray(domain_ids)
-        batch = expert_outputs.shape[1]
-        if domain_ids.shape != (batch,):
-            raise ValueError(
-                f"domain_ids shape {domain_ids.shape} != batch ({batch},)"
-            )
-        if domain_ids.min() < 0 or domain_ids.max() >= expert_outputs.shape[0]:
-            raise ValueError("domain id out of range of expert bank")
-        return expert_outputs[domain_ids, np.arange(batch)]
+        # select_rows validates shape and range; (domain, batch-column)
+        # pairs are unique, so the gather's backward writes straight into
+        # the parent buffer instead of np.add.at.
+        return select_rows(expert_outputs, domain_ids)
 
     def fuse(self, individual: Tensor, neighbour: Tensor) -> Tensor:
         """``H^s = M_fuse(H^s_i, H^s_Ei)`` (Eq. 19)."""

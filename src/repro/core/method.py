@@ -24,7 +24,22 @@ from repro.nn import Adam, Parameter, Tensor, clip_grad_norm
 from repro.utils.seeding import new_rng
 from repro.utils.timing import Timer
 
-__all__ = ["FitResult", "LearningMethod"]
+__all__ = ["FitResult", "LearningMethod", "StepContext"]
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Per-batch training context attached at batch-creation time.
+
+    AdapTraj's phase-2/3 schedule decides *per batch* whether the batch's
+    domain is masked (expert excluded, aggregator routes the features).
+    Carrying that decision alongside the batch — instead of mutating trainer
+    state at yield time — keeps consumers that prefetch or buffer batches in
+    sync with the masks the batches were drawn under.
+    """
+
+    masked_domain: int | None = None
+    use_aggregator: bool = False
 
 
 @dataclass
@@ -61,8 +76,12 @@ class LearningMethod:
     def parameter_groups(self) -> dict[str, list[Parameter]]:
         return {"backbone": self.backbone.parameters()}
 
-    def training_step(self, batch: Batch) -> Tensor:
-        """Return the scalar loss for one batch."""
+    def training_step(self, batch: Batch, step: StepContext | None = None) -> Tensor:
+        """Return the scalar loss for one batch.
+
+        ``step`` is the :class:`StepContext` yielded alongside the batch by
+        :meth:`epoch_batches`; methods without a per-batch schedule ignore it.
+        """
         raise NotImplementedError
 
     def predict_samples(
@@ -75,8 +94,16 @@ class LearningMethod:
         """Per-epoch schedule hook (AdapTraj switches phases here)."""
 
     def epoch_batches(self, train: TrajectoryDataset, epoch: int):
-        """Yield the batches for one epoch (default: one shuffled pass)."""
-        yield from train.batches(self.config.batch_size, rng=self.rng)
+        """Yield ``(batch, StepContext)`` pairs for one epoch.
+
+        Default: one shuffled pass with an empty context.  Schedules that
+        make per-batch decisions (masking, aggregator routing) must attach
+        them to the yielded context rather than mutating trainer state, so
+        prefetching consumers stay in sync.
+        """
+        context = StepContext()
+        for batch in train.batches(self.config.batch_size, rng=self.rng):
+            yield batch, context
 
     # ------------------------------------------------------------------
     # Shared loops
@@ -106,11 +133,11 @@ class LearningMethod:
             for epoch in range(self.config.epochs):
                 self.on_epoch_start(epoch, self.config.epochs)
                 losses = []
-                for i, batch in enumerate(self.epoch_batches(train, epoch)):
+                for i, (batch, step) in enumerate(self.epoch_batches(train, epoch)):
                     if cap is not None and i >= cap:
                         break
                     self.optimizer.zero_grad()
-                    loss = self.training_step(batch)
+                    loss = self.training_step(batch, step)
                     loss.backward()
                     clip_grad_norm(self.all_parameters(), self.config.grad_clip)
                     self.optimizer.step()

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.method import LearningMethod
+from repro.core.method import LearningMethod, StepContext
 from repro.core.adaptraj import AdapTrajModel
 from repro.core.config import AdapTrajConfig, TrainConfig
 from repro.data.dataset import Batch, TrajectoryDataset
@@ -42,8 +42,6 @@ class AdapTrajMethod(LearningMethod):
         super().__init__(model.backbone, config)
         self.model = model
         self._phase = 1
-        self._masked_domain: int | None = None
-        self._use_aggregator = False
         self._delta = model.config.delta
 
     # ------------------------------------------------------------------
@@ -92,11 +90,16 @@ class AdapTrajMethod(LearningMethod):
     def epoch_batches(self, train: TrajectoryDataset, epoch: int):
         """Phase 1: mixed-domain batches.  Phases 2-3: per-domain batches
         (Alg. 1 lines 8/20 iterate over source domains), each masked with
-        probability ``sigma``."""
+        probability ``sigma``.
+
+        The masking decision is attached to the yielded :class:`StepContext`
+        rather than stored on the trainer, so consumers that prefetch or
+        buffer batches train each batch with the mask it was drawn under.
+        """
         if self._phase == 1:
-            self._masked_domain = None
-            self._use_aggregator = False
-            yield from train.batches(self.config.batch_size, rng=self.rng)
+            context = StepContext()
+            for batch in train.batches(self.config.batch_size, rng=self.rng):
+                yield batch, context
             return
 
         sigma = self.model.config.sigma
@@ -115,20 +118,22 @@ class AdapTrajMethod(LearningMethod):
                     continue
                 if self.rng.random() < sigma:
                     # Masked domain trajectory data: D^k_S -> D^?_S.
-                    self._masked_domain = train.domain_id(domain)
-                    self._use_aggregator = True
+                    context = StepContext(
+                        masked_domain=train.domain_id(domain),
+                        use_aggregator=True,
+                    )
                 else:
-                    self._masked_domain = None
-                    self._use_aggregator = False
-                yield batch
+                    context = StepContext()
+                yield batch, context
 
-    def training_step(self, batch: Batch) -> Tensor:
+    def training_step(self, batch: Batch, step: StepContext | None = None) -> Tensor:
+        step = step or StepContext()
         terms = self.model.training_forward(
             batch,
             self.rng,
             delta=self._delta,
-            masked_domain=self._masked_domain,
-            use_aggregator=self._use_aggregator,
+            masked_domain=step.masked_domain,
+            use_aggregator=step.use_aggregator,
         )
         return terms.total
 

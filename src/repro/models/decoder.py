@@ -25,18 +25,10 @@ __all__ = ["MLPTrajectoryDecoder", "RecurrentTrajectoryDecoder", "cumulative_pos
 def cumulative_positions(offsets: Tensor) -> Tensor:
     """Turn per-step displacements ``[B, T, 2]`` into absolute positions.
 
-    Positions are relative to the normalized origin (0, 0).
+    Positions are relative to the normalized origin (0, 0).  One vectorized
+    cumulative sum instead of a per-step slice/add/stack graph.
     """
-    steps = offsets.shape[1]
-    rows = []
-    total = offsets[:, 0, :]
-    rows.append(total)
-    for t in range(1, steps):
-        total = total + offsets[:, t, :]
-        rows.append(total)
-    from repro.nn import stack
-
-    return stack(rows, axis=1)
+    return offsets.cumsum(axis=1)
 
 
 class MLPTrajectoryDecoder(Module):

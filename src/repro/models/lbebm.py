@@ -96,25 +96,30 @@ class LBEBM(TrajectoryBackbone):
         """Short-run Langevin dynamics sampling of the latent plan.
 
         ``z_{k+1} = z_k - (s/2) dE/dz + sqrt(s) * eps`` starting from a
-        standard normal.  Gradients w.r.t. the *energy parameters* created as
-        a side effect are cleared afterwards so the sampler never leaks into
-        the training gradient.
+        standard normal.  The energy parameters are taken out of the graph
+        for the duration of the loop, so each iteration differentiates only
+        w.r.t. ``z`` — the sampler neither accumulates side-effect gradients
+        into the energy network nor records parameter-sized graph nodes.
         """
         batch = h_detached.shape[0]
         step = self.langevin_step_size
         z = rng.standard_normal((batch, self.latent_dim))
         h = h_detached.detach()
-        with enable_grad():  # needed even inside no_grad() inference
-            for _ in range(self.langevin_steps):
-                z_var = Tensor(z, requires_grad=True)
-                energy = self._energy_of(z_var, h).sum()
-                energy.backward()
-                grad = z_var.grad if z_var.grad is not None else np.zeros_like(z)
-                noise = rng.standard_normal(z.shape)
-                z = z - 0.5 * step * grad + np.sqrt(step) * noise
-        # Clear side-effect gradients accumulated in the energy network.
-        for p in self.energy.parameters():
-            p.zero_grad()
+        energy_params = self.energy.parameters()
+        saved_flags = [p.requires_grad for p in energy_params]
+        self.energy.requires_grad_(False)
+        try:
+            with enable_grad():  # needed even inside no_grad() inference
+                for _ in range(self.langevin_steps):
+                    z_var = Tensor(z, requires_grad=True)
+                    energy = self._energy_of(z_var, h).sum()
+                    energy.backward()
+                    grad = z_var.grad if z_var.grad is not None else np.zeros_like(z)
+                    noise = rng.standard_normal(z.shape)
+                    z = z - 0.5 * step * grad + np.sqrt(step) * noise
+        finally:
+            for param, flag in zip(energy_params, saved_flags):
+                param.requires_grad = flag
         return Tensor(z)
 
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ from repro.nn.attention import SocialAttention, SocialPooling
 from repro.nn.layers import MLP, Activation, Dropout, LayerNorm, Linear, Sequential
 from repro.nn.module import Module, ModuleDict, ModuleList, Parameter
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
-from repro.nn.recurrent import GRUCell, LSTM, LSTMCell
+from repro.nn.recurrent import GRU, GRUCell, LSTM, LSTMCell
 from repro.nn.serialization import (
     load_checkpoint,
     load_module,
@@ -22,10 +22,14 @@ from repro.nn.tensor import (
     Tensor,
     as_tensor,
     cat,
+    default_dtype,
     enable_grad,
+    get_default_dtype,
     grad_reverse,
     is_grad_enabled,
     no_grad,
+    select_rows,
+    set_default_dtype,
     stack,
     where,
 )
@@ -34,6 +38,7 @@ __all__ = [
     "Activation",
     "Adam",
     "Dropout",
+    "GRU",
     "GRUCell",
     "LSTM",
     "LSTMCell",
@@ -53,8 +58,10 @@ __all__ = [
     "as_tensor",
     "cat",
     "clip_grad_norm",
+    "default_dtype",
     "enable_grad",
     "functional",
+    "get_default_dtype",
     "grad_reverse",
     "init",
     "is_grad_enabled",
@@ -63,6 +70,8 @@ __all__ = [
     "no_grad",
     "save_checkpoint",
     "save_module",
+    "select_rows",
+    "set_default_dtype",
     "stack",
     "where",
 ]

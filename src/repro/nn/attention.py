@@ -91,15 +91,11 @@ class SocialPooling(Module):
         transformed = self.transform(neighbours)  # [B, n, half]
         mean_pool = masked_mean(transformed, mask, axis=1)  # [B, half]
         # Max pool: push padded slots to a large negative value first.
-        neg = np.full(transformed.shape, -1e9)
-        guarded = where(mask[..., None], transformed, Tensor(neg))
+        # Scalars broadcast through where(), avoiding full-size fill arrays.
+        guarded = where(mask[..., None], transformed, -1e9)
         max_pool = guarded.max(axis=1)
         has_any = mask.any(axis=1)[:, None]
-        max_pool = where(
-            np.broadcast_to(has_any, max_pool.shape),
-            max_pool,
-            Tensor(np.zeros(max_pool.shape)),
-        )
+        max_pool = where(has_any, max_pool, 0.0)
         from repro.nn.tensor import cat
 
         return cat([mean_pool, max_pool], axis=-1)

@@ -44,11 +44,12 @@ def masked_softmax(logits: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     than NaNs (this happens for focal agents without any neighbour).
     """
     mask = np.asarray(mask, dtype=bool)
-    neg = np.full(logits.shape, -1e9)
-    guarded = where(mask, logits, Tensor(neg))
+    # Scalars broadcast through where(); this runs in the social-attention
+    # hot path, so avoid materializing full-size fill arrays per call.
+    guarded = where(mask, logits, -1e9)
     probs = softmax(guarded, axis=axis)
     any_valid = mask.any(axis=axis, keepdims=True)
-    return where(np.broadcast_to(any_valid, probs.shape), probs, Tensor(np.zeros(probs.shape)))
+    return where(any_valid, probs, 0.0)
 
 
 def masked_mean(values: Tensor, mask: np.ndarray, axis: int) -> Tensor:
@@ -70,7 +71,7 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
         raise ValueError(f"dropout probability must be < 1, got {p}")
     keep = rng.random(x.shape) >= p
     scale = 1.0 / (1.0 - p)
-    return where(keep, x * scale, Tensor(np.zeros(x.shape)))
+    return where(keep, x * scale, 0.0)
 
 
 # ----------------------------------------------------------------------

@@ -15,7 +15,7 @@ import numpy as np
 from repro.nn import init
 from repro.nn.functional import dropout
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype
 from repro.utils.seeding import new_rng
 
 __all__ = ["MLP", "Activation", "Dropout", "LayerNorm", "Linear", "Sequential"]
@@ -52,7 +52,7 @@ class Linear(Module):
         rng = new_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(np.empty((in_features, out_features)))
+        self.weight = Parameter(np.empty((in_features, out_features), dtype=get_default_dtype()))
         init.xavier_uniform_(self.weight, rng)
         if bias:
             self.bias = Parameter(np.zeros(out_features))

@@ -85,6 +85,31 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def requires_grad_(self, flag: bool = True) -> Module:
+        """Toggle graph recording for every parameter (in place).
+
+        Disabling this around inner sampling loops (e.g. Langevin dynamics)
+        keeps the loop's graphs small and avoids accumulating side-effect
+        gradients that would otherwise need clearing.
+        """
+        for param in self.parameters():
+            param.requires_grad = flag
+        return self
+
+    def astype(self, dtype) -> Module:
+        """Cast every parameter to ``dtype`` in place.
+
+        Converts an *existing* model after switching the global policy with
+        :func:`repro.nn.set_default_dtype`; tensors created fresh each
+        forward (initial states, data batches) follow the global default, so
+        call both — ``astype`` alone leaves mixed-dtype ops that numpy
+        promotes back to the wider dtype.
+        """
+        for param in self.parameters():
+            param.data = param.data.astype(dtype)
+            param.grad = None
+        return self
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -103,7 +128,7 @@ class Module:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: expected {param.shape}, got {value.shape}"

@@ -28,10 +28,18 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     params = [p for p in parameters if p.grad is not None]
     if not params:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    # One C-level reduction per parameter, one vectorized sum over the
+    # per-parameter squares (no Python-float accumulation per step).
+    squares = np.fromiter(
+        (np.vdot(p.grad, p.grad) for p in params), dtype=np.float64, count=len(params)
+    )
+    total = float(np.sqrt(squares.sum()))
     if max_norm > 0 and total > max_norm:
         scale = max_norm / (total + 1e-12)
         for p in params:
+            if not p.grad.flags.writeable:
+                # e.g. a broadcast view assigned directly to .grad
+                p.grad = p.grad.copy()
             p.grad *= scale
     return total
 

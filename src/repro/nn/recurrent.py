@@ -3,6 +3,27 @@
 The paper's individual-mobility encoder ``phi`` (Eq. 2) "can be implemented
 using any sequential model, such as LSTM"; LBEBM's mobility encoder here uses
 :class:`LSTM`, while PECNet flattens the observed window through an MLP.
+
+Performance architecture
+------------------------
+Sequence encoding is the training hot path (AdapTraj multiplies it across
+per-domain batch streams), so the encoders avoid Python-level per-timestep
+autograd graphs:
+
+* the input projection ``inputs @ weight_x + bias`` is computed for the whole
+  ``[batch, time, gates * hidden]`` window in **one** batched matmul outside
+  the time loop (:class:`LSTM` and :class:`GRU`; the cells accept the
+  precomputed slice via ``x_proj``);
+* :class:`LSTM` additionally runs the entire recurrence as a single fused
+  graph node (:func:`_lstm_fused`): the forward loop is plain numpy with the
+  per-step activations stashed, and the backward closure replays BPTT in
+  numpy, producing the window-level gradients in one pass instead of ~20
+  graph closures per timestep.
+
+``LSTM.forward_reference`` keeps the original per-timestep cell loop; the
+fused path is validated against it (values and gradients) in
+``tests/nn/test_recurrent_fused.py`` and timed in
+``benchmarks/bench_autograd_ops.py``.
 """
 
 from __future__ import annotations
@@ -11,10 +32,10 @@ import numpy as np
 
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, cat, stack
+from repro.nn.tensor import Tensor, get_default_dtype, is_grad_enabled, stack
 from repro.utils.seeding import new_rng
 
-__all__ = ["GRUCell", "LSTM", "LSTMCell"]
+__all__ = ["GRU", "GRUCell", "LSTM", "LSTMCell"]
 
 
 class LSTMCell(Module):
@@ -34,28 +55,39 @@ class LSTMCell(Module):
         rng = new_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
-        self.weight_x = Parameter(np.empty((input_size, 4 * hidden_size)))
-        self.weight_h = Parameter(np.empty((hidden_size, 4 * hidden_size)))
+        self.weight_x = Parameter(np.empty((input_size, 4 * hidden_size), dtype=get_default_dtype()))
+        self.weight_h = Parameter(np.empty((hidden_size, 4 * hidden_size), dtype=get_default_dtype()))
         self.bias = Parameter(np.zeros(4 * hidden_size))
         init.xavier_uniform_(self.weight_x, rng)
         for g in range(4):
             block = self.weight_h.data[:, g * hidden_size : (g + 1) * hidden_size]
             block[...] = init.orthogonal_(
-                Parameter(np.empty((hidden_size, hidden_size))), rng
+                Parameter(np.empty((hidden_size, hidden_size), dtype=get_default_dtype())), rng
             ).data
         # Forget-gate bias of 1 stabilizes early training.
         self.bias.data[hidden_size : 2 * hidden_size] = 1.0
 
     def forward(
-        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+        self,
+        x: Tensor | None,
+        state: tuple[Tensor, Tensor] | None = None,
+        x_proj: Tensor | None = None,
     ) -> tuple[Tensor, Tensor]:
-        batch = x.shape[0]
+        """One step.  ``x_proj`` is the precomputed ``x @ weight_x + bias``
+        (a ``[batch, 4 * hidden]`` slice of the window-level projection); the
+        sequence encoders pass it so the input matmul is hoisted out of the
+        time loop."""
+        if x_proj is None:
+            if x is None:
+                raise ValueError("LSTMCell needs either x or x_proj")
+            x_proj = x @ self.weight_x + self.bias
+        batch = x_proj.shape[0]
         if state is None:
             h = Tensor(np.zeros((batch, self.hidden_size)))
             c = Tensor(np.zeros((batch, self.hidden_size)))
         else:
             h, c = state
-        gates = x @ self.weight_x + h @ self.weight_h + self.bias
+        gates = x_proj + h @ self.weight_h
         hs = self.hidden_size
         i = gates[:, 0 * hs : 1 * hs].sigmoid()
         f = gates[:, 1 * hs : 2 * hs].sigmoid()
@@ -79,18 +111,28 @@ class GRUCell(Module):
         rng = new_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
-        self.weight_x = Parameter(np.empty((input_size, 3 * hidden_size)))
-        self.weight_h = Parameter(np.empty((hidden_size, 3 * hidden_size)))
+        self.weight_x = Parameter(np.empty((input_size, 3 * hidden_size), dtype=get_default_dtype()))
+        self.weight_h = Parameter(np.empty((hidden_size, 3 * hidden_size), dtype=get_default_dtype()))
         self.bias = Parameter(np.zeros(3 * hidden_size))
         init.xavier_uniform_(self.weight_x, rng)
         init.xavier_uniform_(self.weight_h, rng)
 
-    def forward(self, x: Tensor, h: Tensor | None = None) -> Tensor:
-        batch = x.shape[0]
+    def forward(
+        self,
+        x: Tensor | None,
+        h: Tensor | None = None,
+        x_proj: Tensor | None = None,
+    ) -> Tensor:
+        """One step; ``x_proj`` is the precomputed ``x @ weight_x + bias``."""
+        if x_proj is None:
+            if x is None:
+                raise ValueError("GRUCell needs either x or x_proj")
+            x_proj = x @ self.weight_x + self.bias
+        batch = x_proj.shape[0]
         if h is None:
             h = Tensor(np.zeros((batch, self.hidden_size)))
         hs = self.hidden_size
-        gx = x @ self.weight_x + self.bias
+        gx = x_proj
         gh = h @ self.weight_h
         r = (gx[:, 0:hs] + gh[:, 0:hs]).sigmoid()
         z = (gx[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
@@ -98,12 +140,115 @@ class GRUCell(Module):
         return (1.0 - z) * n + z * h
 
 
+def _lstm_fused(
+    gx: Tensor, weight_h: Tensor, h0: Tensor, c0: Tensor, hidden: int
+) -> Tensor:
+    """Run the whole LSTM recurrence as one autograd node.
+
+    ``gx`` is the precomputed input projection ``[batch, time, 4 * hidden]``.
+    Returns ``[batch, time, 2 * hidden]`` — the hidden and cell states
+    concatenated along the last axis, so callers can slice out ``h``/``c``
+    trajectories with a cheap contiguous-slice backward.
+
+    The backward closure replays the standard BPTT recurrence in plain
+    numpy, writing the window-level gradient ``d_gx`` into one preallocated
+    buffer (no per-timestep scatter), and accumulates ``d_weight_h`` and the
+    initial-state gradients in the same pass.
+    """
+    hs = hidden
+    batch, steps, _ = gx.shape
+    dtype = gx.data.dtype
+    w_h = weight_h.data
+    gx_data = gx.data
+
+    need_grad = is_grad_enabled() and any(
+        t.requires_grad for t in (gx, weight_h, h0, c0)
+    )
+
+    h = h0.data.astype(dtype, copy=False)
+    c = c0.data.astype(dtype, copy=False)
+    out = np.empty((batch, steps, 2 * hs), dtype=dtype)
+    # Activation stash for BPTT (allocated only while recording).  h_prev /
+    # c_prev are not stashed: they are ``out[:, t-1]`` slices (or h0/c0).
+    acts = np.empty((steps, batch, 4 * hs), dtype=dtype) if need_grad else None
+    tanh_cs = np.empty((steps, batch, hs), dtype=dtype) if need_grad else None
+    scratch = None if need_grad else np.empty((batch, 4 * hs), dtype=dtype)
+    for t in range(steps):
+        gates = acts[t] if need_grad else scratch
+        np.matmul(h, w_h, out=gates)
+        gates += gx_data[:, t, :]
+        # Sigmoid on the contiguous [i, f] and [o] blocks in place (two
+        # transcendental calls per step instead of three), tanh on [g].
+        for block in (gates[:, : 2 * hs], gates[:, 3 * hs :]):
+            np.negative(block, out=block)
+            np.exp(block, out=block)
+            block += 1.0
+            np.reciprocal(block, out=block)
+        g_blk = gates[:, 2 * hs : 3 * hs]
+        np.tanh(g_blk, out=g_blk)
+        c_next = out[:, t, hs:]
+        np.multiply(gates[:, hs : 2 * hs], c, out=c_next)  # f * c_prev
+        c_next += gates[:, 0:hs] * g_blk  # + i * g
+        tanh_c = tanh_cs[t] if need_grad else np.empty_like(c_next)
+        np.tanh(c_next, out=tanh_c)
+        np.multiply(gates[:, 3 * hs :], tanh_c, out=out[:, t, :hs])  # o * tanh(c)
+        h = out[:, t, :hs]
+        c = c_next
+
+    def backward(grad: np.ndarray) -> None:
+        d_gx = np.empty((steps, batch, 4 * hs), dtype=dtype)
+        dh = np.zeros((batch, hs), dtype=dtype)
+        dc = np.zeros((batch, hs), dtype=dtype)
+        w_h_t = w_h.T
+        for t in range(steps - 1, -1, -1):
+            act = acts[t]
+            i = act[:, 0:hs]
+            f = act[:, hs : 2 * hs]
+            g = act[:, 2 * hs : 3 * hs]
+            o = act[:, 3 * hs :]
+            tanh_c = tanh_cs[t]
+            if t == 0:
+                h_prev, c_prev = h0.data, c0.data
+            else:
+                h_prev = out[:, t - 1, :hs]
+                c_prev = out[:, t - 1, hs:]
+            dh += grad[:, t, :hs]
+            dc += grad[:, t, hs:]
+            dc += dh * o * (1.0 - tanh_c**2)
+            dgates = d_gx[t]
+            np.multiply(dc * g, i * (1.0 - i), out=dgates[:, 0:hs])
+            np.multiply(dc * c_prev, f * (1.0 - f), out=dgates[:, hs : 2 * hs])
+            np.multiply(dc * i, 1.0 - g**2, out=dgates[:, 2 * hs : 3 * hs])
+            np.multiply(dh * tanh_c, o * (1.0 - o), out=dgates[:, 3 * hs :])
+            dh = dgates @ w_h_t
+            dc *= f
+        if gx.requires_grad:
+            gx._accumulate(d_gx.transpose(1, 0, 2))
+        if weight_h.requires_grad:
+            # One GEMM over the whole window instead of one rank-update per
+            # step: d_Wh = sum_t h_prev[t].T @ dgates[t].
+            h_prevs = np.empty((steps, batch, hs), dtype=dtype)
+            h_prevs[0] = h0.data
+            if steps > 1:
+                h_prevs[1:] = out[:, :-1, :hs].transpose(1, 0, 2)
+            d_wh = h_prevs.reshape(-1, hs).T @ d_gx.reshape(-1, 4 * hs)
+            weight_h._accumulate(d_wh)
+        if h0.requires_grad:
+            h0._accumulate(dh)
+        if c0.requires_grad:
+            c0._accumulate(dc)
+
+    return Tensor._make(out, (gx, weight_h, h0, c0), backward)
+
+
 class LSTM(Module):
     """Run an :class:`LSTMCell` over a ``[batch, time, features]`` tensor.
 
     Returns the per-step hidden states stacked along time plus the final
     ``(h, c)`` state — the paper's ``h^{t,l_e}_{e_i}`` is the final hidden
-    state.
+    state.  The input projection is fused across the window and the
+    recurrence runs as a single graph node; ``forward_reference`` keeps the
+    per-timestep path for equivalence tests and benchmarks.
     """
 
     def __init__(
@@ -117,11 +262,34 @@ class LSTM(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
 
+    def _check_inputs(self, inputs: Tensor) -> None:
+        if inputs.ndim != 3:
+            raise ValueError(f"LSTM expects [batch, time, features], got {inputs.shape}")
+
     def forward(
         self, inputs: Tensor, state: tuple[Tensor, Tensor] | None = None
     ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
-        if inputs.ndim != 3:
-            raise ValueError(f"LSTM expects [batch, time, features], got {inputs.shape}")
+        self._check_inputs(inputs)
+        batch = inputs.shape[0]
+        hs = self.hidden_size
+        if state is None:
+            h0 = Tensor(np.zeros((batch, hs)))
+            c0 = Tensor(np.zeros((batch, hs)))
+        else:
+            h0, c0 = state
+        # One batched matmul for the whole window's input projection.
+        gx = inputs @ self.cell.weight_x + self.cell.bias
+        fused = _lstm_fused(gx, self.cell.weight_h, h0, c0, hs)
+        outputs = fused[:, :, :hs]
+        h_final = fused[:, -1, :hs]
+        c_final = fused[:, -1, hs:]
+        return outputs, (h_final, c_final)
+
+    def forward_reference(
+        self, inputs: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Original per-timestep implementation (the fused path's oracle)."""
+        self._check_inputs(inputs)
         steps = inputs.shape[1]
         outputs: list[Tensor] = []
         h_c = state
@@ -130,3 +298,48 @@ class LSTM(Module):
             h_c = (h, c)
             outputs.append(h)
         return stack(outputs, axis=1), h_c
+
+
+class GRU(Module):
+    """Run a :class:`GRUCell` over a ``[batch, time, features]`` tensor.
+
+    The input projection is computed for the whole window in one matmul;
+    each step consumes its precomputed slice via the cell's ``x_proj``.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+
+    def forward(
+        self, inputs: Tensor, h: Tensor | None = None
+    ) -> tuple[Tensor, Tensor]:
+        if inputs.ndim != 3:
+            raise ValueError(f"GRU expects [batch, time, features], got {inputs.shape}")
+        steps = inputs.shape[1]
+        gx = inputs @ self.cell.weight_x + self.cell.bias
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            h = self.cell(None, h, x_proj=gx[:, t, :])
+            outputs.append(h)
+        return stack(outputs, axis=1), h
+
+    def forward_reference(
+        self, inputs: Tensor, h: Tensor | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """Per-timestep path computing the projection inside the loop."""
+        if inputs.ndim != 3:
+            raise ValueError(f"GRU expects [batch, time, features], got {inputs.shape}")
+        steps = inputs.shape[1]
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            h = self.cell(inputs[:, t, :], h)
+            outputs.append(h)
+        return stack(outputs, axis=1), h

@@ -9,10 +9,15 @@ AdapTraj models.  Gradients are validated against numeric differentiation in
 
 Design notes
 ------------
-* Arrays are ``float64`` by default: the models here are small, and exact
-  gradients simplify both debugging and the hypothesis-driven grad checks.
+* Arrays are ``float64`` by default so numeric grad checks stay exact;
+  :func:`set_default_dtype` switches the whole stack to ``float32`` for
+  throughput (parameters, activations, gradients and optimizer state all
+  follow the dtype of the data they attach to).
 * A graph node stores its parents and a closure that accumulates gradients
   into them; ``backward`` runs a topological sort from the output node.
+  Gradient buffers are owned, writable arrays accumulated **in place**
+  (``+=``), and non-leaf buffers are released as soon as their backward
+  closure has consumed them, so graph memory stays bounded per step.
 * ``no_grad`` switches graph recording off globally (used for inference,
   Langevin sampling in LBEBM, and optimizer updates).
 """
@@ -28,15 +33,52 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "cat",
+    "default_dtype",
     "enable_grad",
+    "get_default_dtype",
     "grad_reverse",
     "is_grad_enabled",
     "no_grad",
+    "select_rows",
+    "set_default_dtype",
     "stack",
     "where",
 ]
 
 _GRAD_ENABLED = True
+_DEFAULT_DTYPE = np.dtype(np.float64)
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype new tensors are created with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype for newly-created tensors (``float32`` or ``float64``).
+
+    Gradients and optimizer state follow each array's own dtype, so the
+    policy only has to be set once, before the model is built.  ``float64``
+    (the default) keeps numeric grad checks exact; ``float32`` roughly
+    doubles training throughput.
+    """
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in _ALLOWED_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    _DEFAULT_DTYPE = dtype
+
+
+@contextmanager
+def default_dtype(dtype):
+    """Temporarily switch the default tensor dtype."""
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
 
 
 def is_grad_enabled() -> bool:
@@ -83,6 +125,24 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _index_has_no_duplicates(index) -> bool:
+    """True when ``index`` cannot address the same input element twice.
+
+    Basic indexing (ints, slices, Ellipsis, newaxis) and a single boolean
+    mask select each element at most once, so the gradient can be added
+    directly into the parent buffer; integer fancy indexing may repeat
+    elements and needs ``np.add.at``.
+    """
+    parts = index if isinstance(index, tuple) else (index,)
+    for part in parts:
+        if isinstance(part, (int, np.integer, slice)) or part is None or part is Ellipsis:
+            continue
+        if isinstance(part, np.ndarray) and part.dtype == bool and len(parts) == 1:
+            continue
+        return False
+    return True
+
+
 class Tensor:
     """A numpy array plus the bookkeeping needed for reverse-mode autodiff."""
 
@@ -95,8 +155,9 @@ class Tensor:
         _parents: tuple[Tensor, ...] = (),
         _backward: Callable[[np.ndarray], None] | None = None,
         name: str | None = None,
+        dtype: np.dtype | None = None,
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents = _parents if self.requires_grad else ()
@@ -142,7 +203,11 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> Tensor:
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        # Op outputs keep the dtype numpy computed (which follows the
+        # operands), rather than being recast to the global default — so a
+        # float32 model stays float32 end to end.
+        data = np.asarray(data)
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
         if requires:
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
@@ -150,9 +215,21 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            # Owned, writable buffer; later contributions add in place.
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
+
+    def _grad_buffer(self) -> np.ndarray:
+        """Return an owned gradient buffer, creating a zeroed one if needed.
+
+        Used by ops whose backward can scatter directly into the parent's
+        buffer (slicing, gathers) instead of allocating a full-size
+        intermediate per call.
+        """
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        return self.grad
 
     def detach(self) -> Tensor:
         """Return a view of the data cut off from the graph."""
@@ -175,7 +252,7 @@ class Tensor:
                     f"got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -199,6 +276,10 @@ class Tensor:
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                # Non-leaf buffers (every node with a backward closure) are
+                # dead once consumed; release them so graph memory stays
+                # bounded per training step.  Leaves keep accumulating.
+                node.grad = None
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -287,8 +368,16 @@ class Tensor:
                 grad_a = grad @ other.data.swapaxes(-1, -2)
                 self._accumulate(_unbroadcast(grad_a, self.shape))
             if other.requires_grad:
-                grad_b = self.data.swapaxes(-1, -2) @ grad
-                other._accumulate(_unbroadcast(grad_b, other.shape))
+                if other.ndim == 2 and self.ndim > 2:
+                    # Window-level projection [..., k] @ [k, n]: collapse the
+                    # leading axes into one GEMM instead of a batched matmul
+                    # followed by a full-size reduction in _unbroadcast.
+                    k, n = other.shape
+                    grad_b = self.data.reshape(-1, k).T @ grad.reshape(-1, n)
+                    other._accumulate(grad_b)
+                else:
+                    grad_b = self.data.swapaxes(-1, -2) @ grad
+                    other._accumulate(_unbroadcast(grad_b, other.shape))
 
         return Tensor._make(data, (self, other), backward)
 
@@ -447,12 +536,35 @@ class Tensor:
 
     def __getitem__(self, index) -> Tensor:
         data = self.data[index]
+        direct = _index_has_no_duplicates(index)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            buffer = self._grad_buffer()
+            if direct:
+                # Basic (slice/int) and boolean indices address each input
+                # element at most once, so an in-place add into the owned
+                # buffer replaces the full-size np.add.at scatter.
+                buffer[index] += grad
+            else:
+                np.add.at(buffer, index, grad)
+
+        return Tensor._make(data, (self,), backward)
+
+    def cumsum(self, axis: int) -> Tensor:
+        """Cumulative sum along ``axis`` (differentiable).
+
+        Replaces Python-level running-sum loops (e.g. turning per-step
+        displacements into positions) with one vectorized op; the gradient
+        is the reversed cumulative sum of the incoming gradient.
+        """
+        data = np.cumsum(self.data, axis=axis)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, grad)
-                self._accumulate(full)
+                flipped = np.flip(grad, axis=axis)
+                self._accumulate(np.flip(np.cumsum(flipped, axis=axis), axis=axis))
 
         return Tensor._make(data, (self,), backward)
 
@@ -541,6 +653,32 @@ def where(condition: np.ndarray, a, b) -> Tensor:
             b._accumulate(_unbroadcast(np.where(condition, 0.0, grad), b.shape))
 
     return Tensor._make(data, (a, b), backward)
+
+
+def select_rows(tensor: Tensor, indices: np.ndarray) -> Tensor:
+    """Per-column gather along the first axis: ``out[b] = tensor[indices[b], b]``.
+
+    Used to pick each sample's own-domain expert output from a stacked
+    ``[num_experts, batch, ...]`` tensor.  Because every ``(indices[b], b)``
+    pair is unique, the backward pass writes the gradient straight into the
+    parent's buffer instead of going through ``np.add.at``.
+    """
+    indices = np.asarray(indices)
+    if indices.ndim != 1 or tensor.ndim < 2 or indices.shape[0] != tensor.shape[1]:
+        raise ValueError(
+            f"select_rows expects 1-D indices matching the batch axis "
+            f"(axis 1); got indices {indices.shape} for tensor {tensor.shape}"
+        )
+    if indices.size and (indices.min() < 0 or indices.max() >= tensor.shape[0]):
+        raise ValueError("select_rows index out of range of the first axis")
+    columns = np.arange(indices.shape[0])
+    data = tensor.data[indices, columns]
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor._grad_buffer()[indices, columns] += grad
+
+    return Tensor._make(data, (tensor,), backward)
 
 
 def grad_reverse(tensor: Tensor, scale: float = 1.0) -> Tensor:

@@ -48,10 +48,10 @@ class TestVanilla:
 
         original = method.training_step
 
-        def counting_step(batch):
+        def counting_step(batch, step=None):
             nonlocal counted
             counted += 1
-            return original(batch)
+            return original(batch, step)
 
         method.training_step = counting_step
         method.fit(tiny_dataset(per_domain=40))

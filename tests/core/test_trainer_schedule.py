@@ -132,30 +132,57 @@ class TestEpochBatches:
         method._phase = 1
         train = tiny_dataset()
         batches = list(method.epoch_batches(train, epoch=0))
-        assert sum(b.size for b in batches) == len(train)
+        assert sum(b.size for b, _ in batches) == len(train)
+        assert all(not step.use_aggregator for _, step in batches)
 
     def test_phase2_batches_are_single_domain(self):
         method = make_method(sigma=1.0)
         method._phase = 2
         train = tiny_dataset()
-        for batch in method.epoch_batches(train, epoch=5):
+        for batch, _ in method.epoch_batches(train, epoch=5):
             assert len(set(batch.domain_ids.tolist())) == 1
 
     def test_sigma_one_always_masks(self):
         method = make_method(sigma=1.0)
         method._phase = 2
         train = tiny_dataset()
-        for batch in method.epoch_batches(train, epoch=5):
-            assert method._use_aggregator
-            assert method._masked_domain == int(batch.domain_ids[0])
+        for batch, step in method.epoch_batches(train, epoch=5):
+            assert step.use_aggregator
+            assert step.masked_domain == int(batch.domain_ids[0])
 
     def test_sigma_zero_never_masks(self):
         method = make_method(sigma=0.0)
         method._phase = 2
         train = tiny_dataset()
-        for _ in method.epoch_batches(train, epoch=5):
-            assert not method._use_aggregator
-            assert method._masked_domain is None
+        for _, step in method.epoch_batches(train, epoch=5):
+            assert not step.use_aggregator
+            assert step.masked_domain is None
+
+    def test_prefetched_batches_keep_their_masks(self):
+        """Regression: masks used to be trainer state mutated at yield time,
+        so buffering the generator trained every batch with the *last*
+        yielded mask.  The context now travels with the batch."""
+        method = make_method(sigma=0.5)
+        method._phase = 2
+        train = tiny_dataset(num_domains=3, per_domain=16)
+        pairs = list(method.epoch_batches(train, epoch=5))  # prefetch all
+        expected = [(s.masked_domain, s.use_aggregator) for _, s in pairs]
+        # Both mask states must occur for the regression to be meaningful.
+        assert len(set(expected)) > 1
+
+        recorded = []
+
+        class _Terms:
+            total = None
+
+        def spy_forward(batch, rng, delta, masked_domain, use_aggregator):
+            recorded.append((masked_domain, use_aggregator))
+            return _Terms()
+
+        method.model.training_forward = spy_forward
+        for batch, step in pairs:
+            method.training_step(batch, step)
+        assert recorded == expected
 
 
 class TestEndToEnd:

@@ -1,0 +1,144 @@
+"""Tests for the dtype policy and the in-place gradient-accumulation rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    LSTM,
+    Parameter,
+    Tensor,
+    clip_grad_norm,
+    default_dtype,
+    get_default_dtype,
+    select_rows,
+    set_default_dtype,
+)
+
+
+class TestDefaultDtype:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_context_manager_switches_and_restores(self):
+        with default_dtype(np.float32):
+            assert Tensor([1.0]).data.dtype == np.float32
+            assert Parameter(np.zeros(3)).data.dtype == np.float32
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_rejects_non_float_dtypes(self):
+        with pytest.raises(ValueError, match="float32 or float64"):
+            set_default_dtype(np.int64)
+
+    def test_gradients_follow_parameter_dtype(self):
+        with default_dtype(np.float32):
+            p = Parameter(np.ones((2, 2)))
+            ((p * p).sum()).backward()
+        assert p.grad.dtype == np.float32
+
+    def test_float32_training_step_runs(self):
+        """A full forward/backward/update cycle in float32."""
+        with default_dtype(np.float32):
+            lstm = LSTM(2, 4, rng=0)
+            opt = Adam(lstm.parameters(), lr=1e-2)
+            x = Tensor(np.random.default_rng(0).normal(size=(3, 5, 2)))
+            _, (h, _) = lstm(x)
+            (h * h).sum().backward()
+            clip_grad_norm(lstm.parameters(), 1.0)
+            opt.step()
+        for p in lstm.parameters():
+            assert p.data.dtype == np.float32
+
+    def test_explicit_dtype_argument_wins(self):
+        t = Tensor([1.0], dtype=np.float32)
+        assert t.data.dtype == np.float32
+
+
+class TestInPlaceAccumulation:
+    def test_grad_buffer_is_owned_and_writable(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad.flags.writeable
+        assert x.grad.flags.owndata
+
+    def test_repeated_use_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0 + x * 3.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 5.0))
+
+    def test_nonleaf_grads_released_after_backward(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        mid = x * 2.0
+        out = mid.sum()
+        out.backward()
+        assert x.grad is not None  # leaf keeps its gradient
+        assert mid.grad is None  # intermediate buffer was released
+        assert out.grad is None
+
+    def test_second_backward_still_accumulates_into_leaves(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = (x * 3.0).sum()
+        y.backward()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [6.0, 6.0])
+
+    def test_basic_slice_backward(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        (x[:, 1:3] * 2.0).sum().backward()
+        expected = np.zeros((3, 4))
+        expected[:, 1:3] = 2.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_fancy_index_backward_handles_duplicates(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0.0, 1.0])
+
+    def test_boolean_mask_backward(self):
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        mask = np.array([True, False, True, False])
+        x[mask].sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 0.0, 1.0, 0.0])
+
+    def test_cumsum_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        w = np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        (x.cumsum(axis=1) * Tensor(w)).sum().backward()
+        # d/dx_t sum_s w_s * cumsum_s = sum_{s >= t} w_s
+        expected = np.flip(np.cumsum(np.flip(w, axis=1), axis=1), axis=1)
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_select_rows_values_and_gradient(self):
+        x = Tensor(np.arange(24.0).reshape(3, 4, 2), requires_grad=True)
+        idx = np.array([2, 0, 1, 2])
+        out = select_rows(x, idx)
+        np.testing.assert_allclose(out.data[0], x.data[2, 0])
+        np.testing.assert_allclose(out.data[3], x.data[2, 3])
+        out.sum().backward()
+        expected = np.zeros((3, 4, 2))
+        expected[idx, np.arange(4)] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_select_rows_validates_indices(self):
+        x = Tensor(np.zeros((2, 3, 1)))
+        with pytest.raises(ValueError, match="out of range"):
+            select_rows(x, np.array([0, 2, 0]))
+        with pytest.raises(ValueError, match="1-D indices"):
+            select_rows(x, np.array([[0], [1], [0]]))
+
+
+class TestClipGradNorm:
+    def test_copies_non_writable_grad_views(self):
+        p = Parameter(np.zeros((2, 3)))
+        view = np.broadcast_to(np.ones(3), (2, 3))
+        assert not view.flags.writeable
+        p.grad = view
+        total = clip_grad_norm([p], 1.0)
+        assert total == pytest.approx(np.sqrt(6.0))
+        assert p.grad.flags.writeable
+        np.testing.assert_allclose(np.sqrt((p.grad ** 2).sum()), 1.0, rtol=1e-9)

@@ -1,0 +1,175 @@
+"""Fused-vs-reference equivalence for the vectorized recurrent kernels.
+
+The fused LSTM path (window-level input projection + single BPTT graph node)
+and the fused GRU projection must match the per-timestep reference
+implementation to float64 round-off, in both values and gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import GRU, LSTM, Tensor
+
+from tests.nn.gradcheck import assert_gradients_close
+
+ATOL = 1e-10
+
+
+def _grads(module):
+    return {name: None if p.grad is None else p.grad.copy()
+            for name, p in module.named_parameters()}
+
+
+class TestLSTMFusedEquivalence:
+    def test_forward_matches_reference(self, rng):
+        lstm = LSTM(3, 8, rng=rng)
+        x = Tensor(rng.normal(size=(5, 7, 3)))
+        out_fused, (h_fused, c_fused) = lstm(x)
+        out_ref, (h_ref, c_ref) = lstm.forward_reference(x)
+        np.testing.assert_allclose(out_fused.data, out_ref.data, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(h_fused.data, h_ref.data, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(c_fused.data, c_ref.data, atol=ATOL, rtol=0)
+
+    def test_forward_matches_reference_with_initial_state(self, rng):
+        lstm = LSTM(2, 4, rng=rng)
+        x = Tensor(rng.normal(size=(3, 5, 2)))
+        state = (Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(3, 4))))
+        out_fused, _ = lstm(x, state)
+        out_ref, _ = lstm.forward_reference(x, state)
+        np.testing.assert_allclose(out_fused.data, out_ref.data, atol=ATOL, rtol=0)
+
+    def test_benchmark_shape_equivalence(self, rng):
+        """The acceptance-criteria configuration: [batch=64, time=20, hidden=64]."""
+        lstm = LSTM(16, 64, rng=rng)
+        x = Tensor(rng.normal(size=(64, 20, 16)))
+        out_fused, (h_fused, _) = lstm(x)
+        out_ref, (h_ref, _) = lstm.forward_reference(x)
+        np.testing.assert_allclose(out_fused.data, out_ref.data, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(h_fused.data, h_ref.data, atol=ATOL, rtol=0)
+
+    def test_parameter_gradients_match_reference(self, rng):
+        lstm = LSTM(3, 6, rng=rng)
+        data = rng.normal(size=(4, 9, 3))
+        weights = rng.normal(size=(4, 9, 6))
+
+        def loss_with(forward):
+            lstm.zero_grad()
+            out, (h, c) = forward(Tensor(data))
+            ((out * Tensor(weights)).sum() + (h * h).sum() + c.sum()).backward()
+            return _grads(lstm)
+
+        fused = loss_with(lstm.forward)
+        ref = loss_with(lstm.forward_reference)
+        assert fused.keys() == ref.keys()
+        for name in fused:
+            np.testing.assert_allclose(
+                fused[name], ref[name], atol=ATOL, rtol=0,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+    def test_input_gradients_match_reference(self, rng):
+        lstm = LSTM(2, 5, rng=rng)
+        data = rng.normal(size=(3, 6, 2))
+
+        def input_grad(forward):
+            x = Tensor(data, requires_grad=True)
+            out, (h, _) = forward(x)
+            (out.sum() + (h * h).sum()).backward()
+            return x.grad.copy()
+
+        np.testing.assert_allclose(
+            input_grad(lstm.forward), input_grad(lstm.forward_reference),
+            atol=ATOL, rtol=0,
+        )
+
+    def test_initial_state_gradients_match_reference(self, rng):
+        lstm = LSTM(2, 4, rng=rng)
+        data = rng.normal(size=(3, 5, 2))
+        h0_data = rng.normal(size=(3, 4))
+        c0_data = rng.normal(size=(3, 4))
+
+        def state_grads(forward):
+            h0 = Tensor(h0_data, requires_grad=True)
+            c0 = Tensor(c0_data, requires_grad=True)
+            out, _ = forward(Tensor(data), (h0, c0))
+            (out * out).sum().backward()
+            return h0.grad.copy(), c0.grad.copy()
+
+        for fused, ref in zip(state_grads(lstm.forward),
+                              state_grads(lstm.forward_reference)):
+            np.testing.assert_allclose(fused, ref, atol=ATOL, rtol=0)
+
+    def test_fused_sequence_gradcheck(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+
+        def fn(x):
+            out, (h, c) = lstm(x)
+            return (out * out).sum() + (h * h).sum() + c.sum()
+
+        assert_gradients_close(fn, [rng.normal(size=(2, 4, 2))], atol=1e-5)
+
+
+class TestGRUFusedEquivalence:
+    def test_forward_matches_reference(self, rng):
+        gru = GRU(3, 6, rng=rng)
+        x = Tensor(rng.normal(size=(4, 7, 3)))
+        out_fused, h_fused = gru(x)
+        out_ref, h_ref = gru.forward_reference(x)
+        assert out_fused.shape == (4, 7, 6)
+        np.testing.assert_allclose(out_fused.data, out_ref.data, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(h_fused.data, h_ref.data, atol=ATOL, rtol=0)
+
+    def test_parameter_gradients_match_reference(self, rng):
+        gru = GRU(2, 4, rng=rng)
+        data = rng.normal(size=(3, 6, 2))
+
+        def loss_with(forward):
+            gru.zero_grad()
+            out, h = forward(Tensor(data))
+            ((out * out).sum() + h.sum()).backward()
+            return _grads(gru)
+
+        fused = loss_with(gru.forward)
+        ref = loss_with(gru.forward_reference)
+        for name in fused:
+            np.testing.assert_allclose(
+                fused[name], ref[name], atol=ATOL, rtol=0,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+    def test_fused_sequence_gradcheck(self, rng):
+        gru = GRU(2, 3, rng=rng)
+
+        def fn(x):
+            out, h = gru(x)
+            return (out * out).sum() + (h * h).sum()
+
+        assert_gradients_close(fn, [rng.normal(size=(2, 4, 2))], atol=1e-5)
+
+    def test_cell_x_proj_matches_plain_input(self, rng):
+        gru = GRU(3, 5, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)))
+        via_x = gru.cell(x)
+        via_proj = gru.cell(None, x_proj=x @ gru.cell.weight_x + gru.cell.bias)
+        np.testing.assert_allclose(via_x.data, via_proj.data, atol=ATOL, rtol=0)
+
+
+class TestLSTMCellXProj:
+    def test_cell_x_proj_matches_plain_input(self, rng):
+        lstm = LSTM(3, 5, rng=rng)
+        cell = lstm.cell
+        x = Tensor(rng.normal(size=(4, 3)))
+        h_x, c_x = cell(x)
+        h_p, c_p = cell(None, x_proj=x @ cell.weight_x + cell.bias)
+        np.testing.assert_allclose(h_x.data, h_p.data, atol=ATOL, rtol=0)
+        np.testing.assert_allclose(c_x.data, c_p.data, atol=ATOL, rtol=0)
+
+    def test_cell_requires_x_or_x_proj(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        try:
+            lstm.cell(None)
+        except ValueError as err:
+            assert "x_proj" in str(err)
+        else:
+            raise AssertionError("expected ValueError")
