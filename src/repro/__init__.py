@@ -7,9 +7,10 @@ trajectory simulator standing in for the ETH&UCY / L-CAS / SYI / SDD datasets
 (:mod:`repro.sim`), the data pipeline (:mod:`repro.data`), the PECNet and
 LBEBM backbones (:mod:`repro.models`), the AdapTraj framework itself
 (:mod:`repro.core`), the Counter / CausalMotion baselines
-(:mod:`repro.baselines`), ADE/FDE metrics (:mod:`repro.metrics`), and the
+(:mod:`repro.baselines`), ADE/FDE metrics (:mod:`repro.metrics`), the
 experiment harness regenerating every table and figure of the paper
-(:mod:`repro.experiments`).
+(:mod:`repro.experiments`), and the online serving engine — model registry,
+micro-batching, streaming windows (:mod:`repro.serve`).
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
 paper-vs-measured results.

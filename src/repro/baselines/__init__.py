@@ -15,7 +15,7 @@ from repro.baselines.causal_motion import CausalMotionMethod
 from repro.baselines.counter import CounterMethod, counterfactual_batch
 from repro.baselines.vanilla import VanillaMethod
 from repro.core.config import AdapTrajConfig, TrainConfig
-from repro.models import build_backbone
+from repro.models import TrajectoryBackbone, build_backbone
 
 __all__ = [
     "CausalMotionMethod",
@@ -33,32 +33,45 @@ METHOD_NAMES = ("vanilla", "counter", "causal_motion", "adaptraj")
 
 def build_method(
     method: str,
-    backbone: str,
+    backbone: str | TrajectoryBackbone,
     num_domains: int,
     train_config: TrainConfig | None = None,
     adaptraj_config: AdapTrajConfig | None = None,
     variant: str = "full",
     rng: np.random.Generator | int | None = None,
+    method_kwargs: dict | None = None,
     **backbone_kwargs,
 ) -> LearningMethod:
-    """Construct a learning method around a freshly-built backbone.
+    """Construct a learning method around a backbone.
 
-    ``backbone`` is ``"pecnet"`` or ``"lbebm"``; ``method`` one of
-    :data:`METHOD_NAMES`.  All backbones are built with the AdapTraj context
-    width so architectures are identical across methods (non-AdapTraj
-    methods feed zeros), keeping the comparison fair.
+    ``backbone`` is ``"pecnet"`` or ``"lbebm"`` (built fresh) or an already
+    constructed :class:`TrajectoryBackbone` (used as-is — the serving
+    registry rebuilds backbones from checkpoint metadata and hands them in
+    here); ``method`` is one of :data:`METHOD_NAMES`.  All backbones are
+    built with the AdapTraj context width so architectures are identical
+    across methods (non-AdapTraj methods feed zeros), keeping the comparison
+    fair.
     """
     adaptraj_config = adaptraj_config or AdapTrajConfig()
-    net = build_backbone(
-        backbone, rng=rng, context_size=adaptraj_config.context_size, **backbone_kwargs
-    )
+    if isinstance(backbone, TrajectoryBackbone):
+        if backbone_kwargs:
+            raise ValueError(
+                "backbone_kwargs are only valid when building by name, got "
+                f"{sorted(backbone_kwargs)}"
+            )
+        net = backbone
+    else:
+        net = build_backbone(
+            backbone, rng=rng, context_size=adaptraj_config.context_size, **backbone_kwargs
+        )
     method = method.lower()
+    method_kwargs = method_kwargs or {}
     if method == "vanilla":
-        return VanillaMethod(net, train_config)
+        return VanillaMethod(net, train_config, **method_kwargs)
     if method == "counter":
-        return CounterMethod(net, train_config)
+        return CounterMethod(net, train_config, **method_kwargs)
     if method in ("causal_motion", "causalmotion"):
-        return CausalMotionMethod(net, train_config)
+        return CausalMotionMethod(net, train_config, **method_kwargs)
     if method == "adaptraj":
         # Imported lazily: core.trainer builds on baselines.base, so a
         # module-level import here would be circular.
@@ -68,5 +81,5 @@ def build_method(
         model = AdapTrajModel(
             net, num_domains=num_domains, config=adaptraj_config, variant=variant, rng=rng
         )
-        return AdapTrajMethod(model, train_config)
+        return AdapTrajMethod(model, train_config, **method_kwargs)
     raise ValueError(f"unknown method {method!r}; available: {METHOD_NAMES}")

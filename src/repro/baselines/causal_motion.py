@@ -44,6 +44,9 @@ class CausalMotionMethod(LearningMethod):
             raise ValueError(f"invariance_weight must be >= 0, got {invariance_weight}")
         self.invariance_weight = invariance_weight
 
+    def export_method_kwargs(self) -> dict:
+        return {"invariance_weight": self.invariance_weight}
+
     def _sample_risks(self, prediction: Tensor, batch: Batch) -> Tensor:
         """Per-sample trajectory risks, shape ``[batch]``."""
         diff = prediction - Tensor(batch.future)

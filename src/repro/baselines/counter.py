@@ -110,3 +110,20 @@ class CounterMethod(LearningMethod):
         cf = counterfactual_batch(batch, self.mean_obs)
         counterfactual = self.backbone.predict(cf, rng=rng, num_samples=num_samples)
         return factual - counterfactual
+
+    def export_method_kwargs(self) -> dict:
+        return {"mean_momentum": self.mean_momentum}
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        # The counterfactual reference is learned state the checkpoint must
+        # carry even though it is not a Parameter.
+        return {
+            "mean_obs": np.asarray(self.mean_obs),
+            "mean_initialized": np.asarray(float(self._mean_initialized)),
+        }
+
+    def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        if "mean_obs" in state:
+            self.mean_obs = np.asarray(state["mean_obs"], dtype=np.float64)
+        if "mean_initialized" in state:
+            self._mean_initialized = bool(float(np.asarray(state["mean_initialized"])))

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import MLP, Module, ModuleList, Tensor, cat, select_rows, stack
+from repro.nn.layers import Activation, Linear
 from repro.utils.seeding import new_rng
 
 __all__ = [
@@ -27,7 +28,69 @@ __all__ = [
     "DomainInvariantExtractor",
     "DomainSpecificExtractor",
     "ReconstructionDecoder",
+    "expert_bank_forward",
+    "expert_bank_forward_reference",
 ]
+
+
+def _stackable_layers(experts: ModuleList) -> list | None:
+    """Layer blocks of the expert bank when all experts are stack-compatible.
+
+    Stacking requires every expert to be an :class:`MLP` with the same
+    Linear/Activation layout (no dropout — per-expert dropout streams cannot
+    be merged into one batched pass).  Returns ``None`` when the bank must
+    fall back to the per-expert loop.
+    """
+    if len(experts) == 0 or not all(isinstance(e, MLP) for e in experts):
+        return None
+    layouts = []
+    for expert in experts:
+        layout = []
+        for block in expert.net._items:
+            if isinstance(block, Linear):
+                layout.append(("linear", block.in_features, block.out_features, block.bias is not None))
+            elif isinstance(block, Activation):
+                layout.append(("activation", block.name))
+            else:
+                return None
+        layouts.append(tuple(layout))
+    if len(set(layouts)) != 1:
+        return None
+    return list(layouts[0])
+
+
+def expert_bank_forward(experts: ModuleList, x: Tensor) -> Tensor:
+    """Apply every expert MLP to ``x`` via stacked-weight batched matmuls.
+
+    ``x`` is ``[batch, in]``; the result is ``[K, batch, out]`` — identical
+    (to float round-off of the same GEMM kernel) to stacking ``K`` separate
+    MLP forwards, but the model math runs as one batched matmul per layer
+    instead of a Python loop over experts.  The per-layer ``stack`` of the
+    expert weights is differentiable, so each expert's own :class:`Parameter`
+    still receives its gradient slice.
+
+    Experts whose structure cannot be stacked (non-MLP, mismatched layouts,
+    dropout) fall back to :func:`expert_bank_forward_reference`.
+    """
+    layout = _stackable_layers(experts)
+    if layout is None:
+        return expert_bank_forward_reference(experts, x)
+    out = x  # [B, in] -> [K, B, .] after the first stacked Linear
+    for index, spec in enumerate(layout):
+        if spec[0] == "linear":
+            weight = stack([e.net[index].weight for e in experts], axis=0)  # [K, in, out]
+            out = out @ weight
+            if spec[3]:
+                bias = stack([e.net[index].bias for e in experts], axis=0)  # [K, out]
+                out = out + bias.unsqueeze(1)
+        else:
+            out = experts[0].net[index](out)
+    return out
+
+
+def expert_bank_forward_reference(experts: ModuleList, x: Tensor) -> Tensor:
+    """Per-expert loop oracle; the stacked path is tested against this."""
+    return stack([expert(x) for expert in experts], axis=0)
 
 
 class DomainInvariantExtractor(Module):
@@ -109,12 +172,16 @@ class DomainSpecificExtractor(Module):
         self.m_fuse = MLP([2 * feature_dim, feature_dim], out_activation="tanh", rng=rng)
 
     def individual_all(self, h_ei: Tensor) -> Tensor:
-        """All experts applied to the batch: ``[K, batch, f]``."""
-        return stack([expert(h_ei) for expert in self.m_ind], axis=0)
+        """All experts applied to the batch: ``[K, batch, f]``.
+
+        Runs as stacked-weight batched matmuls (one GEMM per layer for the
+        whole bank) rather than a Python loop over experts.
+        """
+        return expert_bank_forward(self.m_ind, h_ei)
 
     def neighbour_all(self, p_i: Tensor) -> Tensor:
         """All experts applied to the batch: ``[K, batch, f]``."""
-        return stack([expert(p_i) for expert in self.m_nei], axis=0)
+        return expert_bank_forward(self.m_nei, p_i)
 
     @staticmethod
     def select(expert_outputs: Tensor, domain_ids: np.ndarray) -> Tensor:

@@ -20,7 +20,7 @@ from repro.core.config import TrainConfig
 from repro.data.dataset import Batch, TrajectoryDataset
 from repro.metrics.displacement import best_of_ade_fde
 from repro.models.base import TrajectoryBackbone
-from repro.nn import Adam, Parameter, Tensor, clip_grad_norm
+from repro.nn import Adam, Module, Parameter, Tensor, clip_grad_norm, inference_mode
 from repro.utils.seeding import new_rng
 from repro.utils.timing import Timer
 
@@ -90,6 +90,42 @@ class LearningMethod:
         """Sampled futures ``[K, B, pred_len, 2]`` in the normalized frame."""
         return self.backbone.predict(batch, rng=rng, num_samples=num_samples)
 
+    def module(self) -> Module:
+        """Root module owning every parameter of the method.
+
+        Checkpointing and inference-mode switching go through this hook;
+        methods that wrap the backbone in a larger model (AdapTraj) override
+        it so the extractors/aggregator are covered too.
+        """
+        return self.backbone
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        """Non-parameter state a checkpoint must carry (e.g. running buffers)."""
+        return {}
+
+    def load_extra_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore what :meth:`extra_state` exported; default is stateless."""
+
+    def export_spec(self) -> dict:
+        """JSON-able description sufficient to rebuild this method untrained.
+
+        Consumed by :class:`repro.serve.ModelRegistry`, which stores it in
+        the checkpoint metadata and replays it through
+        :func:`repro.baselines.build_method` at load time.  Methods with
+        constructor hyperparameters override :meth:`export_method_kwargs`
+        so round trips do not reset them to defaults.
+        """
+        return {
+            "method": self.name,
+            "backbone": self.backbone.export_config(),
+            "num_domains": 1,
+            "method_kwargs": self.export_method_kwargs(),
+        }
+
+    def export_method_kwargs(self) -> dict:
+        """Constructor keyword arguments beyond (backbone, train config)."""
+        return {}
+
     def on_epoch_start(self, epoch: int, total_epochs: int) -> None:
         """Per-epoch schedule hook (AdapTraj switches phases here)."""
 
@@ -110,6 +146,24 @@ class LearningMethod:
     # ------------------------------------------------------------------
     def all_parameters(self) -> list[Parameter]:
         return [p for params in self.parameter_groups().values() for p in params]
+
+    def predict(
+        self,
+        batch: Batch,
+        num_samples: int | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Inference entry point: ``predict_samples`` under full inference mode.
+
+        The whole method module tree (not just the backbone) is switched to
+        eval semantics and graph recording is off, so prediction pays neither
+        autograd bookkeeping nor stochastic regularization.  This is the path
+        the eval loop, the Table VIII benchmark, and ``repro.serve`` share.
+        """
+        num_samples = num_samples or self.config.eval_samples
+        rng = new_rng(rng if rng is not None else self.config.seed + 1)
+        with inference_mode(self.module()):
+            return self.predict_samples(batch, num_samples, rng)
 
     def fit(
         self,
@@ -164,7 +218,7 @@ class LearningMethod:
         total_ade = total_fde = 0.0
         count = 0
         for batch in dataset.batches(batch_size, shuffle=False):
-            samples = self.predict_samples(batch, num_samples, rng)
+            samples = self.predict(batch, num_samples, rng)
             ade, fde = best_of_ade_fde(samples, batch.future)
             total_ade += ade * batch.size
             total_fde += fde * batch.size
@@ -186,8 +240,8 @@ class LearningMethod:
             if len(batches) >= num_batches:
                 break
         # Warm-up pass so one-time costs are excluded.
-        self.predict_samples(batches[0], num_samples, rng)
+        self.predict(batches[0], num_samples, rng)
         start = time.perf_counter()
         for batch in batches:
-            self.predict_samples(batch, num_samples, rng)
+            self.predict(batch, num_samples, rng)
         return (time.perf_counter() - start) / len(batches)

@@ -138,9 +138,24 @@ class AdapTrajMethod(LearningMethod):
         return terms.total
 
     # ------------------------------------------------------------------
-    # Inference
+    # Inference / export
     # ------------------------------------------------------------------
     def predict_samples(
         self, batch: Batch, num_samples: int, rng: np.random.Generator
     ) -> np.ndarray:
         return self.model.predict(batch, num_samples=num_samples, rng=rng)
+
+    def module(self):
+        """The full AdapTraj model (backbone + extractors + aggregator)."""
+        return self.model
+
+    def export_spec(self) -> dict:
+        from dataclasses import asdict
+
+        spec = super().export_spec()
+        spec.update(
+            num_domains=self.model.num_domains,
+            variant=self.model.variant,
+            adaptraj=asdict(self.model.config),
+        )
+        return spec

@@ -23,6 +23,7 @@ __all__ = [
     "Batch",
     "TrajectoryDataset",
     "TrajectorySample",
+    "collate_windows",
     "extract_samples",
 ]
 
@@ -108,6 +109,75 @@ class Batch:
     def denormalize(self, trajectories: np.ndarray) -> np.ndarray:
         """Map model-frame trajectories ``[B, T, 2]`` back to scene coordinates."""
         return trajectories + self.origins[:, None, :]
+
+
+def collate_windows(
+    obs_windows: list[np.ndarray],
+    neighbour_windows: list[np.ndarray],
+    domain_ids: list[int],
+    futures: list[np.ndarray] | None = None,
+    pred_len: int | None = None,
+    max_neighbours: int | None = None,
+) -> Batch:
+    """Normalize + pad raw observation windows into a :class:`Batch`.
+
+    The single collate core shared by offline training/evaluation
+    (:meth:`TrajectoryDataset.collate`) and online serving
+    (:func:`repro.serve.batcher.collate_requests`) — both paths must stay
+    numerically identical, so the origin translation, nearest-first
+    neighbour truncation, and padding/masking live here exactly once.
+
+    ``futures`` is ``None`` for serving (no ground truth); then ``pred_len``
+    sizes the zero-filled future array.
+    """
+    if not obs_windows:
+        raise ValueError("cannot collate an empty batch")
+    obs_len = obs_windows[0].shape[0]
+    for window in obs_windows:
+        if window.shape[0] != obs_len:
+            raise ValueError(
+                f"mixed window lengths in one batch: {window.shape[0]} != {obs_len}"
+            )
+    if futures is not None:
+        pred_len = futures[0].shape[0]
+    elif pred_len is None:
+        raise ValueError("pred_len is required when futures are absent")
+    if max_neighbours is None:
+        max_neighbours = max((n.shape[0] for n in neighbour_windows), default=0)
+    k = max(max_neighbours, 1)  # keep at least one (masked) slot
+    batch_size = len(obs_windows)
+
+    obs = np.zeros((batch_size, obs_len, 2))
+    future = np.zeros((batch_size, pred_len, 2))
+    neighbours = np.zeros((batch_size, k, obs_len, 2))
+    mask = np.zeros((batch_size, k), dtype=bool)
+    ids = np.zeros(batch_size, dtype=np.int64)
+    origins = np.zeros((batch_size, 2))
+
+    for row, window in enumerate(obs_windows):
+        origin = window[-1]
+        origins[row] = origin
+        obs[row] = window - origin
+        if futures is not None:
+            future[row] = futures[row] - origin
+        nbr = neighbour_windows[row]
+        n = min(nbr.shape[0], k)
+        if n:
+            if nbr.shape[0] > k:
+                dist = np.linalg.norm(nbr[:, -1, :] - origin[None, :], axis=1)
+                nbr = nbr[np.argsort(dist)[:k]]
+            neighbours[row, :n] = nbr[:n] - origin
+            mask[row, :n] = True
+        ids[row] = domain_ids[row]
+
+    return Batch(
+        obs=obs,
+        future=future,
+        neighbours=neighbours,
+        neighbour_mask=mask,
+        domain_ids=ids,
+        origins=origins,
+    )
 
 
 def extract_samples(
@@ -232,44 +302,12 @@ class TrajectoryDataset:
     def collate(self, indices, max_neighbours: int | None = None) -> Batch:
         """Build a normalized, padded :class:`Batch` from sample ``indices``."""
         chosen = [self.samples[i] for i in indices]
-        if not chosen:
-            raise ValueError("cannot collate an empty batch")
-        obs_len = chosen[0].obs.shape[0]
-        pred_len = chosen[0].future.shape[0]
-        if max_neighbours is None:
-            max_neighbours = max((s.num_neighbours for s in chosen), default=0)
-        k = max(max_neighbours, 1)  # keep at least one (masked) slot
-        batch_size = len(chosen)
-
-        obs = np.zeros((batch_size, obs_len, 2))
-        future = np.zeros((batch_size, pred_len, 2))
-        neighbours = np.zeros((batch_size, k, obs_len, 2))
-        mask = np.zeros((batch_size, k), dtype=bool)
-        domain_ids = np.zeros(batch_size, dtype=np.int64)
-        origins = np.zeros((batch_size, 2))
-
-        for row, sample in enumerate(chosen):
-            origin = sample.obs[-1]
-            origins[row] = origin
-            obs[row] = sample.obs - origin
-            future[row] = sample.future - origin
-            n = min(sample.num_neighbours, k)
-            if n:
-                nbr = sample.neighbours
-                if sample.num_neighbours > k:
-                    dist = np.linalg.norm(nbr[:, -1, :] - origin[None, :], axis=1)
-                    nbr = nbr[np.argsort(dist)[:k]]
-                neighbours[row, :n] = nbr[:n] - origin
-                mask[row, :n] = True
-            domain_ids[row] = self._domain_to_id[sample.domain]
-
-        return Batch(
-            obs=obs,
-            future=future,
-            neighbours=neighbours,
-            neighbour_mask=mask,
-            domain_ids=domain_ids,
-            origins=origins,
+        return collate_windows(
+            obs_windows=[s.obs for s in chosen],
+            neighbour_windows=[s.neighbours for s in chosen],
+            domain_ids=[self._domain_to_id[s.domain] for s in chosen],
+            futures=[s.future for s in chosen],
+            max_neighbours=max_neighbours,
         )
 
     def batches(

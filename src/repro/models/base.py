@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.dataset import Batch
-from repro.nn import Module, Tensor, no_grad
+from repro.nn import Module, Tensor, inference_mode
 
 __all__ = ["BackboneEncoding", "BackboneOutput", "TrajectoryBackbone"]
 
@@ -116,6 +116,23 @@ class TrajectoryBackbone(Module):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    def export_config(self) -> dict:
+        """Constructor arguments needed to rebuild this backbone.
+
+        Subclasses extend the dict with their model-specific hyperparameters;
+        ``name`` must match a key of :func:`repro.models.build_backbone`.
+        The serving registry stores this in the checkpoint metadata so a
+        checkpoint is loadable without out-of-band configuration.
+        """
+        return {
+            "name": type(self).__name__.lower(),
+            "obs_len": self.obs_len,
+            "pred_len": self.pred_len,
+            "hidden_size": self.hidden_size,
+            "interaction_size": self.interaction_size,
+            "context_size": self.context_size,
+        }
+
     def _context_or_zeros(self, context: Tensor | None, batch_size: int) -> Tensor:
         if context is None:
             return Tensor(np.zeros((batch_size, self.context_size)))
@@ -140,15 +157,11 @@ class TrajectoryBackbone(Module):
         """
         if rng is None:
             rng = np.random.default_rng(0)
-        self.eval()
-        try:
-            with no_grad():
-                encoding = self.encode(batch)
-                context = context_fn(encoding) if context_fn is not None else None
-                samples = [
-                    self.decode(encoding, batch, context, rng).data.copy()
-                    for _ in range(num_samples)
-                ]
-        finally:
-            self.train()
+        with inference_mode(self):
+            encoding = self.encode(batch)
+            context = context_fn(encoding) if context_fn is not None else None
+            samples = [
+                self.decode(encoding, batch, context, rng).data.copy()
+                for _ in range(num_samples)
+            ]
         return np.stack(samples, axis=0)

@@ -77,6 +77,18 @@ class LBEBM(TrajectoryBackbone):
         )
 
     # ------------------------------------------------------------------
+    def export_config(self) -> dict:
+        config = super().export_config()
+        config.update(
+            latent_dim=self.latent_dim,
+            step_embed_dim=self.step_embed.out_features,
+            langevin_steps=self.langevin_steps,
+            langevin_step_size=self.langevin_step_size,
+            kl_weight=self.kl_weight,
+            ebm_weight=self.ebm_weight,
+        )
+        return config
+
     def encode(self, batch: Batch) -> BackboneEncoding:
         obs = Tensor(batch.obs)
         steps = self.step_embed(obs)

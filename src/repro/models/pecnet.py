@@ -72,6 +72,15 @@ class PECNet(TrajectoryBackbone):
         )
 
     # ------------------------------------------------------------------
+    def export_config(self) -> dict:
+        config = super().export_config()
+        config.update(
+            latent_dim=self.latent_dim,
+            kl_weight=self.kl_weight,
+            endpoint_weight=self.endpoint_weight,
+        )
+        return config
+
     def encode(self, batch: Batch) -> BackboneEncoding:
         obs = Tensor(batch.obs)
         neighbours = Tensor(batch.neighbours)

@@ -9,12 +9,15 @@ groups (needed by the paper's Alg. 1), and checkpoint serialization.
 from repro.nn import functional, init
 from repro.nn.attention import SocialAttention, SocialPooling
 from repro.nn.layers import MLP, Activation, Dropout, LayerNorm, Linear, Sequential
-from repro.nn.module import Module, ModuleDict, ModuleList, Parameter
+from repro.nn.module import Module, ModuleDict, ModuleList, Parameter, inference_mode
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
 from repro.nn.recurrent import GRU, GRUCell, LSTM, LSTMCell
 from repro.nn.serialization import (
+    FORMAT_VERSION,
+    CheckpointMeta,
     load_checkpoint,
     load_module,
+    read_checkpoint,
     save_checkpoint,
     save_module,
 )
@@ -37,7 +40,9 @@ from repro.nn.tensor import (
 __all__ = [
     "Activation",
     "Adam",
+    "CheckpointMeta",
     "Dropout",
+    "FORMAT_VERSION",
     "GRU",
     "GRUCell",
     "LSTM",
@@ -63,11 +68,13 @@ __all__ = [
     "functional",
     "get_default_dtype",
     "grad_reverse",
+    "inference_mode",
     "init",
     "is_grad_enabled",
     "load_checkpoint",
     "load_module",
     "no_grad",
+    "read_checkpoint",
     "save_checkpoint",
     "save_module",
     "select_rows",

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 
-__all__ = ["Module", "ModuleDict", "ModuleList", "Parameter"]
+__all__ = ["Module", "ModuleDict", "ModuleList", "Parameter", "inference_mode"]
 
 
 class Parameter(Tensor):
@@ -143,6 +144,31 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+
+@contextmanager
+def inference_mode(*modules: Module):
+    """Serving-grade inference context: ``no_grad`` plus ``eval()`` semantics.
+
+    Every module tree in ``modules`` is switched to evaluation mode (dropout
+    off) and graph recording is disabled, so forward passes build no autograd
+    graphs and allocate no gradient buffers.  On exit each sub-module's
+    ``training`` flag is restored to exactly what it was — unlike a blanket
+    ``train()`` call, a tree that was already (partially) in eval mode comes
+    back unchanged.
+    """
+    snapshots = [
+        [(m, m.training) for _, m in root.named_modules()] for root in modules
+    ]
+    for root in modules:
+        root.eval()
+    try:
+        with no_grad():
+            yield
+    finally:
+        for snapshot in snapshots:
+            for module, flag in snapshot:
+                object.__setattr__(module, "training", flag)
 
 
 class ModuleList(Module):

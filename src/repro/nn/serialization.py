@@ -1,37 +1,179 @@
-"""Checkpoint I/O: save/load module state dicts as ``.npz`` archives."""
+"""Checkpoint I/O: save/load module state dicts as ``.npz`` archives.
+
+Format
+------
+Version 2 archives embed metadata alongside the weights so a checkpoint is
+self-describing for the serving stack:
+
+* ``format version`` — bumped when the layout changes;
+* ``dtype`` — the uniform floating dtype of the saved arrays;
+* ``config`` — an arbitrary JSON-able dict (model spec, training provenance)
+  supplied by the caller.
+
+Metadata lives under reserved ``__repro_meta_*`` keys inside the same
+``.npz``; version-1 archives (bare state dicts) load transparently with the
+dtype inferred from the arrays.  Dtype mismatches between a checkpoint and a
+target module are resolved *explicitly* via :func:`load_module`'s
+``dtype_policy`` — convert the weights to the module's dtype (``"module"``,
+the serving default, via the same cast :meth:`Module.astype` applies),
+convert the module to the checkpoint's dtype (``"checkpoint"``), or refuse
+(``"strict"``).  Nothing silently mixes dtypes.
+"""
 
 from __future__ import annotations
 
+import json
 import os
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.nn.module import Module
 
-__all__ = ["load_checkpoint", "load_module", "save_checkpoint", "save_module"]
+__all__ = [
+    "FORMAT_VERSION",
+    "CheckpointMeta",
+    "load_checkpoint",
+    "load_module",
+    "read_checkpoint",
+    "save_checkpoint",
+    "save_module",
+]
+
+FORMAT_VERSION = 2
+
+_META_VERSION_KEY = "__repro_meta_format_version__"
+_META_DTYPE_KEY = "__repro_meta_dtype__"
+_META_CONFIG_KEY = "__repro_meta_config__"
+_META_KEYS = (_META_VERSION_KEY, _META_DTYPE_KEY, _META_CONFIG_KEY)
+
+_DTYPE_POLICIES = ("module", "checkpoint", "strict")
 
 
-def save_checkpoint(path: str | os.PathLike, state: dict[str, np.ndarray]) -> None:
-    """Write a state dict to ``path`` (``.npz`` appended if missing)."""
+@dataclass
+class CheckpointMeta:
+    """Self-description stored inside a version-2 checkpoint."""
+
+    format_version: int = FORMAT_VERSION
+    dtype: str | None = None
+    config: dict = field(default_factory=dict)
+
+
+def _normalize_path(path: str | os.PathLike) -> str:
     path = os.fspath(path)
     if not path.endswith(".npz"):
         path += ".npz"
-    np.savez(path, **state)
+    return path
+
+
+def _uniform_float_dtype(arrays, what: str) -> str | None:
+    """The single floating dtype of ``arrays`` (None when there are no floats)."""
+    dtypes = {
+        str(np.asarray(value).dtype)
+        for value in arrays
+        if np.asarray(value).dtype.kind == "f"
+    }
+    if not dtypes:
+        return None
+    if len(dtypes) > 1:
+        raise ValueError(
+            f"{what} mixes floating dtypes {sorted(dtypes)}; convert the "
+            "module with Module.astype first"
+        )
+    return dtypes.pop()
+
+
+def _state_dtype(state: dict[str, np.ndarray]) -> str | None:
+    return _uniform_float_dtype(state.values(), "state dict")
+
+
+def _module_dtype(module: Module) -> str | None:
+    # Scans parameters in place — no state_dict() copy just to read a dtype.
+    return _uniform_float_dtype((p.data for p in module.parameters()), "module")
+
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    state: dict[str, np.ndarray],
+    config: dict | None = None,
+) -> None:
+    """Write a state dict plus format/dtype/config metadata to ``path``."""
+    reserved = set(state) & set(_META_KEYS)
+    if reserved:
+        raise ValueError(f"state dict uses reserved metadata keys: {sorted(reserved)}")
+    payload = dict(state)
+    payload[_META_VERSION_KEY] = np.asarray(FORMAT_VERSION)
+    dtype = _state_dtype(state)
+    if dtype is not None:
+        payload[_META_DTYPE_KEY] = np.asarray(dtype)
+    payload[_META_CONFIG_KEY] = np.asarray(json.dumps(config or {}))
+    np.savez(_normalize_path(path), **payload)
+
+
+def read_checkpoint(
+    path: str | os.PathLike,
+) -> tuple[dict[str, np.ndarray], CheckpointMeta]:
+    """Read ``(state, meta)``; version-1 archives get inferred metadata."""
+    with np.load(_normalize_path(path)) as archive:
+        raw = {key: archive[key] for key in archive.files}
+    state = {key: value for key, value in raw.items() if key not in _META_KEYS}
+    if _META_VERSION_KEY in raw:
+        meta = CheckpointMeta(
+            format_version=int(raw[_META_VERSION_KEY]),
+            dtype=(
+                str(raw[_META_DTYPE_KEY]) if _META_DTYPE_KEY in raw else None
+            ),
+            config=json.loads(str(raw[_META_CONFIG_KEY]))
+            if _META_CONFIG_KEY in raw
+            else {},
+        )
+    else:
+        meta = CheckpointMeta(format_version=1, dtype=_state_dtype(state), config={})
+    return state, meta
 
 
 def load_checkpoint(path: str | os.PathLike) -> dict[str, np.ndarray]:
-    """Read a state dict written by :func:`save_checkpoint`."""
-    path = os.fspath(path)
-    if not path.endswith(".npz"):
-        path += ".npz"
-    with np.load(path) as archive:
-        return {key: archive[key] for key in archive.files}
+    """Read just the state dict (metadata stripped)."""
+    state, _ = read_checkpoint(path)
+    return state
 
 
-def save_module(path: str | os.PathLike, module: Module) -> None:
-    save_checkpoint(path, module.state_dict())
+def save_module(
+    path: str | os.PathLike, module: Module, config: dict | None = None
+) -> None:
+    save_checkpoint(path, module.state_dict(), config=config)
 
 
-def load_module(path: str | os.PathLike, module: Module, strict: bool = True) -> Module:
-    module.load_state_dict(load_checkpoint(path), strict=strict)
+def load_module(
+    path: str | os.PathLike,
+    module: Module,
+    strict: bool = True,
+    dtype_policy: str = "module",
+) -> Module:
+    """Load a checkpoint into ``module``, resolving dtype mismatches explicitly.
+
+    ``dtype_policy``:
+
+    * ``"module"`` — keep the module's dtype; checkpoint arrays are converted
+      on load (e.g. a float64 training checkpoint into a float32 serving
+      stack).  This is the serving default.
+    * ``"checkpoint"`` — convert the module to the checkpoint's dtype via
+      :meth:`Module.astype` first, then load exactly.
+    * ``"strict"`` — raise on any dtype mismatch.
+    """
+    if dtype_policy not in _DTYPE_POLICIES:
+        raise ValueError(
+            f"dtype_policy must be one of {_DTYPE_POLICIES}, got {dtype_policy!r}"
+        )
+    state, meta = read_checkpoint(path)
+    module_dtype = _module_dtype(module)
+    if meta.dtype is not None and module_dtype is not None and meta.dtype != module_dtype:
+        if dtype_policy == "strict":
+            raise ValueError(
+                f"checkpoint dtype {meta.dtype} != module dtype {module_dtype}; "
+                "pass dtype_policy='module' or 'checkpoint' to convert"
+            )
+        if dtype_policy == "checkpoint":
+            module.astype(np.dtype(meta.dtype))
+    module.load_state_dict(state, strict=strict)
     return module

@@ -1,0 +1,42 @@
+"""``repro.serve`` — online trajectory-prediction serving.
+
+The inference-side counterpart to the training stack: a versioned
+:class:`ModelRegistry` of self-describing checkpoints, a uniform
+:class:`Predictor` interface over any method/backbone combination, a
+:class:`MicroBatcher` that coalesces concurrent single-agent requests into
+padded vectorized batches, :class:`StreamingWindows` for per-agent sliding
+observation windows over live point streams, and the composed
+:class:`ServingEngine`.
+
+Serving invariants (see ROADMAP.md):
+
+* all prediction runs under :func:`repro.nn.inference_mode` — no autograd
+  graphs, no gradient buffers, no dropout;
+* request coalescing is padded + masked, never a per-request Python loop,
+  and is bit-identical to the offline evaluation batch built from the same
+  windows;
+* world-frame round trip (normalize on ingest, denormalize on emit) reuses
+  the ``repro.data`` conventions.
+"""
+
+from repro.serve.batcher import (
+    MicroBatcher,
+    PendingPrediction,
+    PredictRequest,
+    collate_requests,
+)
+from repro.serve.engine import ServingEngine
+from repro.serve.predictor import Predictor
+from repro.serve.registry import ModelRegistry
+from repro.serve.streaming import StreamingWindows
+
+__all__ = [
+    "MicroBatcher",
+    "ModelRegistry",
+    "PendingPrediction",
+    "PredictRequest",
+    "Predictor",
+    "ServingEngine",
+    "StreamingWindows",
+    "collate_requests",
+]

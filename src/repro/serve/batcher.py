@@ -1,0 +1,244 @@
+"""Dynamic micro-batching: coalesce single-agent requests into padded batches.
+
+Online consumers submit one agent's observation window at a time; running the
+model per request would pay the full Python/numpy dispatch overhead per
+agent.  The :class:`MicroBatcher` queues requests and flushes them as one
+padded :class:`~repro.data.dataset.Batch` through the vectorized model hot
+path under two standard policies:
+
+* **max batch size** — a flush happens as soon as ``max_batch_size`` requests
+  are pending (latency never waits on a full batch longer than necessary);
+* **max wait** — ``poll()`` flushes a partial batch once the oldest pending
+  request has waited ``max_wait`` seconds (bounded tail latency under low
+  traffic).
+
+Collation mirrors :meth:`repro.data.dataset.TrajectoryDataset.collate`
+bit-for-bit — origin translation to the focal agent's last observed position,
+zero-padded neighbour slots with a boolean mask, nearest-first truncation —
+so a coalesced serving batch is numerically identical to the offline
+evaluation batch built from the same windows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import PRED_LEN, Batch, collate_windows
+from repro.serve.predictor import Predictor
+from repro.utils.seeding import new_rng
+
+__all__ = ["MicroBatcher", "PendingPrediction", "PredictRequest", "collate_requests"]
+
+
+@dataclass
+class PredictRequest:
+    """One agent's ready-to-predict observation window (world coordinates).
+
+    Attributes
+    ----------
+    request_id : caller-chosen identifier, returned with the result.
+    obs : ``[obs_len, 2]`` focal agent's observed positions.
+    neighbours : ``[N, obs_len, 2]`` neighbours' windows (N >= 0).
+    domain_id : source-domain hint; serving an unseen domain uses 0 (the
+        AdapTraj aggregator path ignores it).
+    """
+
+    request_id: object
+    obs: np.ndarray
+    neighbours: np.ndarray | None = None
+    domain_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.obs = np.asarray(self.obs, dtype=np.float64)
+        if self.obs.ndim != 2 or self.obs.shape[1] != 2:
+            raise ValueError(f"obs must be [obs_len, 2], got {self.obs.shape}")
+        if self.neighbours is None:
+            self.neighbours = np.zeros((0, self.obs.shape[0], 2))
+        self.neighbours = np.asarray(self.neighbours, dtype=np.float64)
+        if self.neighbours.size == 0:
+            self.neighbours = self.neighbours.reshape(0, self.obs.shape[0], 2)
+        if (
+            self.neighbours.ndim != 3
+            or self.neighbours.shape[1] != self.obs.shape[0]
+            or self.neighbours.shape[2] != 2
+        ):
+            raise ValueError(
+                f"neighbours must be [N, obs_len, 2], got {self.neighbours.shape}"
+            )
+
+    @property
+    def num_neighbours(self) -> int:
+        return self.neighbours.shape[0]
+
+
+class PendingPrediction:
+    """Future-like handle returned by :meth:`MicroBatcher.submit`."""
+
+    __slots__ = ("request", "enqueued_at", "_samples")
+
+    def __init__(self, request: PredictRequest, enqueued_at: float) -> None:
+        self.request = request
+        self.enqueued_at = enqueued_at
+        self._samples: np.ndarray | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._samples is not None
+
+    def result(self) -> np.ndarray:
+        """World-frame futures ``[K, pred_len, 2]`` once the batch has run."""
+        if self._samples is None:
+            raise RuntimeError(
+                "prediction not ready; the request is still waiting to be "
+                "coalesced (call poll()/flush() on the batcher)"
+            )
+        return self._samples
+
+
+def collate_requests(
+    requests: Sequence[PredictRequest],
+    pred_len: int = PRED_LEN,
+    max_neighbours: int | None = None,
+) -> Batch:
+    """Build a normalized, padded :class:`Batch` from serving requests.
+
+    Delegates to :func:`repro.data.dataset.collate_windows` — the same
+    collate core the offline evaluation path uses — so serving batches match
+    offline batches to the last bit; ``future`` is zero-filled, serving has
+    no ground truth.
+    """
+    if not requests:
+        raise ValueError("cannot collate an empty request list")
+    return collate_windows(
+        obs_windows=[r.obs for r in requests],
+        neighbour_windows=[r.neighbours for r in requests],
+        domain_ids=[r.domain_id for r in requests],
+        futures=None,
+        pred_len=pred_len,
+        max_neighbours=max_neighbours,
+    )
+
+
+class MicroBatcher:
+    """Coalesce concurrent prediction requests into padded model batches.
+
+    Parameters
+    ----------
+    predictor : the :class:`~repro.serve.predictor.Predictor` to run.
+    num_samples : futures sampled per request (best-of-K serving).
+    max_batch_size : flush as soon as this many requests are pending.
+    max_wait : seconds a request may wait before ``poll`` flushes a partial
+        batch; ``0`` means every ``poll`` flushes whatever is pending.
+    max_neighbours : cap on padded neighbour slots (None = batch maximum).
+    rng : seed or generator for the sampling noise (one stream across
+        flushes, so a fixed seed makes a serving session reproducible).
+    clock : monotonic time source; injectable for tests.
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        num_samples: int = 1,
+        max_batch_size: int = 32,
+        max_wait: float = 0.0,
+        max_neighbours: int | None = None,
+        rng: np.random.Generator | int | None = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        self.predictor = predictor
+        self.num_samples = num_samples
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self.max_neighbours = max_neighbours
+        self.rng = new_rng(rng)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._pending: list[PendingPrediction] = []
+        # Observability counters.
+        self.total_requests = 0
+        self.total_batches = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def mean_batch_size(self) -> float:
+        done = self.total_requests - len(self._pending)
+        return done / self.total_batches if self.total_batches else 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: PredictRequest) -> PendingPrediction:
+        """Queue one request; flushes immediately when a full batch is ready.
+
+        Window length is validated here, against the predictor, so a
+        malformed request fails in its own caller instead of poisoning the
+        batch it would later be coalesced into.
+        """
+        expected = getattr(self.predictor, "obs_len", None)
+        if expected is not None and request.obs.shape[0] != expected:
+            raise ValueError(
+                f"request {request.request_id!r} has window length "
+                f"{request.obs.shape[0]}, predictor expects {expected}"
+            )
+        with self._lock:
+            handle = PendingPrediction(request, self.clock())
+            self._pending.append(handle)
+            self.total_requests += 1
+            if len(self._pending) >= self.max_batch_size:
+                self._flush_locked(self.max_batch_size)
+        return handle
+
+    def poll(self, now: float | None = None) -> list[PendingPrediction]:
+        """Flush partial batches whose oldest request exceeded ``max_wait``."""
+        with self._lock:
+            if not self._pending:
+                return []
+            now = self.clock() if now is None else now
+            if now - self._pending[0].enqueued_at < self.max_wait:
+                return []
+            return self._flush_locked(self.max_batch_size)
+
+    def flush(self) -> list[PendingPrediction]:
+        """Run every pending request now (in ``max_batch_size`` chunks)."""
+        with self._lock:
+            completed: list[PendingPrediction] = []
+            while self._pending:
+                completed.extend(self._flush_locked(self.max_batch_size))
+            return completed
+
+    # ------------------------------------------------------------------
+    def _flush_locked(self, limit: int) -> list[PendingPrediction]:
+        chunk, self._pending = self._pending[:limit], self._pending[limit:]
+        if not chunk:
+            return []
+        try:
+            batch = collate_requests(
+                [handle.request for handle in chunk],
+                pred_len=self.predictor.pred_len,
+                max_neighbours=self.max_neighbours,
+            )
+            # One padded batch through the vectorized hot path — never a
+            # Python loop over requests.
+            samples = self.predictor.predict_world(batch, self.num_samples, self.rng)
+        except BaseException:
+            # Don't lose the coalesced requests on a failed flush: put them
+            # back at the head of the queue so a later poll/flush retries.
+            self._pending[:0] = chunk
+            raise
+        for row, handle in enumerate(chunk):
+            handle._samples = samples[:, row]
+        self.total_batches += 1
+        return chunk

@@ -1,0 +1,90 @@
+"""End-to-end serving engine: stream points in, get world-frame futures out.
+
+:class:`ServingEngine` composes the three serving layers —
+:class:`~repro.serve.streaming.StreamingWindows` (per-agent sliding windows),
+:class:`~repro.serve.batcher.MicroBatcher` (padded coalescing through the
+vectorized model path), and a :class:`~repro.serve.predictor.Predictor`
+(inference-mode model execution) — behind two calls:
+
+>>> engine.ingest_frame(t, {agent_id: (x, y), ...})   # every frame
+>>> futures = engine.predict_ready(t)                 # {agent_id: [K, pred_len, 2]}
+
+Outputs are in world coordinates (the normalization round trip from
+``repro.data`` is applied internally) and match the offline
+``predict_samples`` evaluation path on the identically-composed batch.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher, PendingPrediction
+from repro.serve.predictor import Predictor
+from repro.serve.streaming import StreamingWindows
+
+__all__ = ["ServingEngine"]
+
+
+class ServingEngine:
+    """Online trajectory-prediction service over a trained predictor."""
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        num_samples: int = 1,
+        max_batch_size: int = 32,
+        max_wait: float = 0.0,
+        max_neighbours: int | None = None,
+        rng: np.random.Generator | int | None = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.predictor = predictor
+        self.windows = StreamingWindows(
+            obs_len=predictor.obs_len, max_neighbours=max_neighbours
+        )
+        self.batcher = MicroBatcher(
+            predictor,
+            num_samples=num_samples,
+            max_batch_size=max_batch_size,
+            max_wait=max_wait,
+            rng=rng,
+            clock=clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, agent_id, frame: int, x: float, y: float) -> None:
+        """Feed one ``(agent_id, t, x, y)`` observation point."""
+        self.windows.push(agent_id, frame, x, y)
+
+    def ingest_frame(self, frame: int, positions: Mapping[object, tuple[float, float]]) -> None:
+        self.windows.push_frame(frame, positions)
+
+    def evict(self, agent_id) -> None:
+        self.windows.evict(agent_id)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def submit_ready(self, frame: int) -> list[PendingPrediction]:
+        """Enqueue every agent whose window is complete at ``frame``.
+
+        Full batches flush inside ``submit``; stragglers stay queued until
+        the batcher's max-wait policy (``poll``) or an explicit ``flush``.
+        """
+        return [self.batcher.submit(r) for r in self.windows.requests(frame)]
+
+    def predict_ready(self, frame: int) -> dict[object, np.ndarray]:
+        """Predict for every ready agent at ``frame``, synchronously.
+
+        All ready agents are coalesced (in ``max_batch_size`` chunks) and the
+        queue is drained, so the result maps every ready ``agent_id`` to
+        world-frame futures of shape ``[num_samples, pred_len, 2]``.
+        """
+        handles = self.submit_ready(frame)
+        self.batcher.flush()
+        return {h.request.request_id[0]: h.result() for h in handles}

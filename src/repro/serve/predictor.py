@@ -1,0 +1,79 @@
+"""Uniform inference interface over any trained learning method.
+
+A :class:`Predictor` is the serving-side face of a
+:class:`~repro.core.method.LearningMethod`: it hides which method/backbone
+combination is behind it (AdapTraj, PECNet, LBEBM, baselines) and guarantees
+the serving invariants — every forward runs under
+:func:`repro.nn.inference_mode` (no autograd graphs, no gradient buffers,
+dropout off) and outputs can be asked for in the normalized model frame or
+denormalized back to world coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.method import LearningMethod
+from repro.data.dataset import Batch
+from repro.utils.seeding import new_rng
+
+__all__ = ["Predictor"]
+
+
+class Predictor:
+    """Serving wrapper around a trained :class:`LearningMethod`.
+
+    Attributes
+    ----------
+    method : the wrapped learning method (owns the model weights).
+    name / version : registry coordinates when loaded through
+        :class:`~repro.serve.registry.ModelRegistry`; ``None`` for ad-hoc
+        wrapping.
+    """
+
+    def __init__(
+        self,
+        method: LearningMethod,
+        name: str | None = None,
+        version: int | None = None,
+    ) -> None:
+        self.method = method
+        self.name = name
+        self.version = version
+
+    # ------------------------------------------------------------------
+    @property
+    def obs_len(self) -> int:
+        return self.method.backbone.obs_len
+
+    @property
+    def pred_len(self) -> int:
+        return self.method.backbone.pred_len
+
+    def describe(self) -> str:
+        backbone = type(self.method.backbone).__name__.lower()
+        coords = f"{self.name}:v{self.version}" if self.name else "unregistered"
+        return f"Predictor({coords}, method={self.method.name}, backbone={backbone})"
+
+    __repr__ = describe
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        batch: Batch,
+        num_samples: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Sampled futures ``[K, B, pred_len, 2]`` in the normalized frame."""
+        return self.method.predict(batch, num_samples, new_rng(rng))
+
+    def predict_world(
+        self,
+        batch: Batch,
+        num_samples: int = 1,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Sampled futures ``[K, B, pred_len, 2]`` in world coordinates."""
+        samples = self.predict(batch, num_samples, rng)
+        # Undo the per-sample origin translation applied at collate time.
+        return samples + batch.origins[None, :, None, :]

@@ -1,0 +1,161 @@
+"""Versioned model registry: publish trained methods, load them for serving.
+
+A registry is a directory tree ``root/<name>/v<version>.npz`` of
+self-describing checkpoints: each archive carries the model weights plus the
+method's :meth:`~repro.core.method.LearningMethod.export_spec` (method name,
+backbone constructor config, AdapTraj config/variant) and any non-parameter
+state (e.g. Counter's counterfactual mean) in the serialization metadata, so
+``load()`` can rebuild *any* method/backbone combination with no out-of-band
+configuration.
+
+Dtype policy: serving stacks commonly run float32 while training ran
+float64.  ``load`` resolves the mismatch explicitly through
+:func:`repro.nn.serialization.load_module`'s ``dtype_policy`` — the default
+``"module"`` keeps the dtype the serving process was configured with
+(``repro.nn.set_default_dtype``) and converts the checkpoint on the way in.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import numpy as np
+
+from repro.baselines import build_method
+from repro.core.config import AdapTrajConfig, TrainConfig
+from repro.core.method import LearningMethod
+from repro.models import build_backbone
+from repro.nn.serialization import load_module, read_checkpoint, save_checkpoint
+from repro.serve.predictor import Predictor
+
+__all__ = ["ModelRegistry"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_RE = re.compile(r"^v(\d+)\.npz$")
+
+
+class ModelRegistry:
+    """Filesystem-backed store of versioned, self-describing checkpoints."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths and listing
+    # ------------------------------------------------------------------
+    def _model_dir(self, name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid model name {name!r}")
+        return os.path.join(self.root, name)
+
+    def path(self, name: str, version: int) -> str:
+        return os.path.join(self._model_dir(name), f"v{int(version)}.npz")
+
+    def models(self) -> list[str]:
+        """Registered model names (directories with at least one version)."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            entry
+            for entry in os.listdir(self.root)
+            if os.path.isdir(os.path.join(self.root, entry))
+            and self.versions(entry)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Published versions for ``name``, ascending (empty when unknown)."""
+        directory = self._model_dir(name)
+        if not os.path.isdir(directory):
+            return []
+        found = []
+        for entry in os.listdir(directory):
+            match = _VERSION_RE.match(entry)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str) -> int:
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"no versions published for model {name!r}")
+        return versions[-1]
+
+    # ------------------------------------------------------------------
+    # Publish / load
+    # ------------------------------------------------------------------
+    def publish(
+        self, name: str, method: LearningMethod, version: int | None = None
+    ) -> int:
+        """Write ``method``'s weights + spec as a new (or given) version."""
+        if version is None:
+            existing = self.versions(name)
+            version = existing[-1] + 1 if existing else 1
+        elif version in self.versions(name):
+            raise FileExistsError(f"model {name!r} version {version} already exists")
+        config = {
+            "spec": method.export_spec(),
+            "extra_state": {
+                key: np.asarray(value).tolist()
+                for key, value in method.extra_state().items()
+            },
+        }
+        directory = self._model_dir(name)
+        os.makedirs(directory, exist_ok=True)
+        save_checkpoint(self.path(name, version), method.module().state_dict(), config=config)
+        return version
+
+    def load_method(
+        self,
+        name: str,
+        version: int | None = None,
+        dtype_policy: str = "module",
+        train_config: TrainConfig | None = None,
+    ) -> LearningMethod:
+        """Rebuild the method from its stored spec and load its weights."""
+        version = self.latest_version(name) if version is None else int(version)
+        path = self.path(name, version)
+        if not os.path.exists(path):
+            raise KeyError(f"model {name!r} has no version {version}")
+        _, meta = read_checkpoint(path)
+        spec = meta.config.get("spec")
+        if not spec:
+            raise ValueError(
+                f"checkpoint {path} has no model spec in its metadata "
+                f"(format version {meta.format_version}); publish through "
+                "ModelRegistry.publish"
+            )
+        backbone_config = dict(spec["backbone"])
+        backbone_name = backbone_config.pop("name")
+        adaptraj_config = (
+            AdapTrajConfig(**spec["adaptraj"]) if "adaptraj" in spec else None
+        )
+        backbone = build_backbone(backbone_name, **backbone_config)
+        method = build_method(
+            spec["method"],
+            backbone,
+            num_domains=int(spec.get("num_domains", 1)),
+            train_config=train_config,
+            adaptraj_config=adaptraj_config,
+            variant=spec.get("variant", "full"),
+            method_kwargs=spec.get("method_kwargs"),
+        )
+        load_module(path, method.module(), strict=True, dtype_policy=dtype_policy)
+        extra = meta.config.get("extra_state") or {}
+        if extra:
+            method.load_extra_state(
+                {key: np.asarray(value) for key, value in extra.items()}
+            )
+        return method
+
+    def load(
+        self,
+        name: str,
+        version: int | None = None,
+        dtype_policy: str = "module",
+    ) -> Predictor:
+        """Load a version behind the uniform :class:`Predictor` interface."""
+        version = self.latest_version(name) if version is None else int(version)
+        method = self.load_method(name, version, dtype_policy=dtype_policy)
+        return Predictor(method, name=name, version=version)

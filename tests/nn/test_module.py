@@ -13,6 +13,8 @@ from repro.nn import (
     ModuleList,
     Parameter,
     Tensor,
+    inference_mode,
+    is_grad_enabled,
     load_checkpoint,
     load_module,
     save_checkpoint,
@@ -136,3 +138,42 @@ class TestSerialization:
         loaded = load_checkpoint(tmp_path / "state.npz")
         assert set(loaded) == {"a", "b"}
         np.testing.assert_allclose(loaded["a"], state["a"])
+
+
+class TestInferenceMode:
+    def test_disables_grad_and_dropout(self, rng):
+        model = MLP([4, 8, 4], dropout_p=0.5, rng=rng)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        with inference_mode(model):
+            assert not is_grad_enabled()
+            assert not model.training
+            out = model(x)
+            assert not out.requires_grad
+            # Dropout off: the forward is deterministic.
+            np.testing.assert_array_equal(out.data, model(x).data)
+        assert is_grad_enabled()
+
+    def test_restores_per_module_training_flags(self, rng):
+        model = Nested(rng)
+        # Heterogeneous starting state: one submodule already in eval.
+        model.heads[1].eval()
+        assert model.training and not model.heads[1].training
+        with inference_mode(model):
+            assert not model.training
+            assert not model.heads[1].training
+        assert model.training
+        assert not model.heads[1].training  # came back exactly as it was
+
+    def test_multiple_roots(self, rng):
+        a, b = MLP([2, 2], rng=rng), MLP([2, 2], rng=rng)
+        b.eval()
+        with inference_mode(a, b):
+            assert not a.training and not b.training
+        assert a.training and not b.training
+
+    def test_forward_allocates_no_grad_buffers(self, rng):
+        model = MLP([4, 8, 4], rng=rng)
+        with inference_mode(model):
+            out = model(Tensor(rng.normal(size=(3, 4))))
+        assert all(p.grad is None for p in model.parameters())
+        assert out._parents == ()

@@ -1,0 +1,138 @@
+"""Checkpoint format tests: metadata, version-1 compat, dtype policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    FORMAT_VERSION,
+    MLP,
+    Tensor,
+    default_dtype,
+    load_checkpoint,
+    load_module,
+    read_checkpoint,
+    save_checkpoint,
+    save_module,
+)
+
+
+@pytest.fixture
+def model(rng):
+    return MLP([4, 8, 3], rng=rng)
+
+
+class TestMetadata:
+    def test_save_embeds_version_dtype_config(self, tmp_path, model):
+        path = tmp_path / "ckpt"
+        save_module(path, model, config={"spec": {"method": "vanilla"}})
+        state, meta = read_checkpoint(path)
+        assert meta.format_version == FORMAT_VERSION
+        assert meta.dtype == "float64"
+        assert meta.config == {"spec": {"method": "vanilla"}}
+        assert set(state) == set(model.state_dict())
+
+    def test_load_checkpoint_strips_metadata(self, tmp_path, model):
+        path = tmp_path / "ckpt"
+        save_module(path, model, config={"anything": 1})
+        state = load_checkpoint(path)
+        assert all(not key.startswith("__repro_meta") for key in state)
+
+    def test_version1_archive_still_loads(self, tmp_path, model):
+        """Bare .npz state dicts (pre-metadata format) get inferred meta."""
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **model.state_dict())
+        state, meta = read_checkpoint(path)
+        assert meta.format_version == 1
+        assert meta.dtype == "float64"
+        assert meta.config == {}
+        fresh = MLP([4, 8, 3], rng=np.random.default_rng(0))
+        load_module(path, fresh)
+        np.testing.assert_array_equal(
+            fresh.state_dict()["net.0.weight"], state["net.0.weight"]
+        )
+
+    def test_reserved_keys_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_checkpoint(
+                tmp_path / "x", {"__repro_meta_dtype__": np.zeros(1)}
+            )
+
+    def test_mixed_dtypes_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mixes"):
+            save_checkpoint(
+                tmp_path / "x",
+                {"a": np.zeros(2, dtype=np.float64), "b": np.zeros(2, dtype=np.float32)},
+            )
+
+
+class TestRoundTrip:
+    def test_identical_predictions_float64(self, tmp_path, model, rng):
+        path = tmp_path / "ckpt"
+        save_module(path, model)
+        clone = MLP([4, 8, 3], rng=np.random.default_rng(99))
+        load_module(path, clone)
+        x = rng.normal(size=(5, 4))
+        np.testing.assert_array_equal(model(Tensor(x)).data, clone(Tensor(x)).data)
+
+    def test_identical_predictions_float32_stack(self, tmp_path, model, rng):
+        """float64 checkpoint into a float32 stack: one explicit downcast,
+        after which predictions are reproducible run-to-run."""
+        path = tmp_path / "ckpt"
+        save_module(path, model)
+        with default_dtype(np.float32):
+            first = MLP([4, 8, 3], rng=np.random.default_rng(0))
+            load_module(path, first)
+            second = MLP([4, 8, 3], rng=np.random.default_rng(1))
+            load_module(path, second)
+            x = rng.normal(size=(5, 4)).astype(np.float32)
+            a = first(Tensor(x)).data
+            b = second(Tensor(x)).data
+        assert a.dtype == np.float32
+        np.testing.assert_array_equal(a, b)
+        # And the downcast tracks the float64 model to float32 precision.
+        ref = model(Tensor(x.astype(np.float64))).data
+        assert np.abs(a - ref).max() < 1e-5
+
+    def test_strict_shape_mismatch_still_raises(self, tmp_path, model):
+        path = tmp_path / "ckpt"
+        save_module(path, model)
+        other = MLP([4, 9, 3], rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_module(path, other)
+
+
+class TestDtypePolicies:
+    def test_default_policy_keeps_module_dtype(self, tmp_path, model):
+        path = tmp_path / "ckpt"
+        save_module(path, model)
+        with default_dtype(np.float32):
+            target = MLP([4, 8, 3], rng=np.random.default_rng(0))
+        load_module(path, target, dtype_policy="module")
+        assert {p.data.dtype for p in target.parameters()} == {np.dtype(np.float32)}
+
+    def test_checkpoint_policy_converts_module(self, tmp_path, model):
+        path = tmp_path / "ckpt"
+        save_module(path, model)
+        with default_dtype(np.float32):
+            target = MLP([4, 8, 3], rng=np.random.default_rng(0))
+        load_module(path, target, dtype_policy="checkpoint")
+        assert {p.data.dtype for p in target.parameters()} == {np.dtype(np.float64)}
+        np.testing.assert_array_equal(
+            target.state_dict()["net.0.weight"], model.state_dict()["net.0.weight"]
+        )
+
+    def test_strict_policy_raises(self, tmp_path, model):
+        path = tmp_path / "ckpt"
+        save_module(path, model)
+        with default_dtype(np.float32):
+            target = MLP([4, 8, 3], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="dtype"):
+            load_module(path, target, dtype_policy="strict")
+
+    def test_unknown_policy_rejected(self, tmp_path, model):
+        path = tmp_path / "ckpt"
+        save_module(path, model)
+        with pytest.raises(ValueError, match="dtype_policy"):
+            load_module(path, model, dtype_policy="whatever")

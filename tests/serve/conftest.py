@@ -1,0 +1,71 @@
+"""Shared fixtures for the serving tests: a small trained method + predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_method
+from repro.core.config import TrainConfig
+from repro.data.registry import DataConfig, load_multi_domain
+from repro.serve import Predictor
+
+
+TRAIN_DOMAINS = ["syi", "eth_ucy"]
+ALL_DOMAINS = ["syi", "eth_ucy", "sdd"]
+
+TINY_DATA = DataConfig(num_scenes=1, frames_per_scene=60, stride=4)
+TINY_TRAIN = TrainConfig(epochs=1, batch_size=16, max_batches_per_epoch=2)
+
+
+def train_tiny_method(method: str = "vanilla", backbone: str = "pecnet", seed: int = 0):
+    """One-epoch training run: enough for weights to be non-initial."""
+    splits = load_multi_domain(TRAIN_DOMAINS, TINY_DATA, domains=ALL_DOMAINS)
+    learner = build_method(
+        method,
+        backbone,
+        num_domains=len(TRAIN_DOMAINS),
+        train_config=TINY_TRAIN,
+        rng=seed,
+    )
+    learner.fit(splits.train)
+    return learner
+
+
+@pytest.fixture(scope="module")
+def trained_vanilla():
+    return train_tiny_method("vanilla")
+
+
+@pytest.fixture(scope="module")
+def trained_adaptraj():
+    return train_tiny_method("adaptraj")
+
+
+@pytest.fixture
+def predictor(trained_vanilla) -> Predictor:
+    return Predictor(trained_vanilla)
+
+
+@pytest.fixture
+def small_batch(trained_vanilla):
+    from repro.data.registry import load_domain_dataset
+
+    target = load_domain_dataset("sdd", TINY_DATA, domains=ALL_DOMAINS)
+    return next(target.test.batches(6, shuffle=False))
+
+
+@pytest.fixture
+def request_factory(rng):
+    """Build synthetic world-frame PredictRequests with a given neighbour count."""
+
+    from repro.serve import PredictRequest
+
+    def make(request_id, num_neighbours=2, obs_len=8, offset=0.0):
+        obs = np.cumsum(rng.normal(size=(obs_len, 2)), axis=0) + offset
+        neighbours = (
+            np.cumsum(rng.normal(size=(num_neighbours, obs_len, 2)), axis=1) + offset
+        )
+        return PredictRequest(request_id=request_id, obs=obs, neighbours=neighbours)
+
+    return make

@@ -1,0 +1,138 @@
+"""Registry tests: versioning, spec round trips, dtype policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TrainConfig
+from repro.data.registry import DataConfig, load_multi_domain
+from repro.nn import get_default_dtype, set_default_dtype
+from repro.serve import ModelRegistry
+
+from tests.serve.conftest import ALL_DOMAINS, TINY_DATA, TINY_TRAIN, TRAIN_DOMAINS
+
+
+@pytest.fixture
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "models")
+
+
+class TestVersioning:
+    def test_publish_assigns_increasing_versions(self, registry, trained_vanilla):
+        assert registry.publish("m", trained_vanilla) == 1
+        assert registry.publish("m", trained_vanilla) == 2
+        assert registry.versions("m") == [1, 2]
+        assert registry.latest_version("m") == 2
+        assert registry.models() == ["m"]
+
+    def test_explicit_version_collision_rejected(self, registry, trained_vanilla):
+        registry.publish("m", trained_vanilla, version=3)
+        with pytest.raises(FileExistsError):
+            registry.publish("m", trained_vanilla, version=3)
+
+    def test_unknown_model_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.latest_version("nope")
+        with pytest.raises(KeyError):
+            registry.load("nope")
+
+    def test_invalid_name_rejected(self, registry, trained_vanilla):
+        with pytest.raises(ValueError):
+            registry.publish("../escape", trained_vanilla)
+
+
+class TestRoundTrip:
+    def test_vanilla_identical_predictions(self, registry, trained_vanilla, small_batch):
+        registry.publish("vanilla-pecnet", trained_vanilla)
+        predictor = registry.load("vanilla-pecnet")
+        offline = trained_vanilla.predict(small_batch, 3, np.random.default_rng(5))
+        served = predictor.predict(small_batch, 3, np.random.default_rng(5))
+        np.testing.assert_array_equal(served, offline)
+
+    def test_adaptraj_identical_predictions(self, registry, trained_adaptraj, small_batch):
+        """The full AdapTraj module tree (extractors, aggregator) round-trips."""
+        registry.publish("adaptraj-pecnet", trained_adaptraj)
+        predictor = registry.load("adaptraj-pecnet")
+        assert predictor.method.name == "adaptraj"
+        assert predictor.method.model.num_domains == trained_adaptraj.model.num_domains
+        offline = trained_adaptraj.predict(small_batch, 2, np.random.default_rng(5))
+        served = predictor.predict(small_batch, 2, np.random.default_rng(5))
+        np.testing.assert_array_equal(served, offline)
+
+    def test_counter_extra_state_round_trips(self, registry, small_batch):
+        from tests.serve.conftest import train_tiny_method
+
+        counter = train_tiny_method("counter")
+        registry.publish("counter-pecnet", counter)
+        loaded = registry.load_method("counter-pecnet")
+        np.testing.assert_array_equal(loaded.mean_obs, counter.mean_obs)
+        assert loaded.mean_momentum == counter.mean_momentum
+        offline = counter.predict(small_batch, 2, np.random.default_rng(5))
+        served = loaded.predict(small_batch, 2, np.random.default_rng(5))
+        np.testing.assert_array_equal(served, offline)
+
+    def test_method_hyperparameters_round_trip(self, registry):
+        """Constructor hyperparameters survive publish/load, not reset to
+        defaults."""
+        from repro.baselines import build_method
+
+        method = build_method(
+            "causal_motion",
+            "pecnet",
+            num_domains=1,
+            method_kwargs={"invariance_weight": 2.5},
+            rng=0,
+        )
+        registry.publish("cm", method)
+        loaded = registry.load_method("cm")
+        assert loaded.invariance_weight == 2.5
+
+    def test_loaded_method_can_keep_training(self, registry, trained_vanilla):
+        """A registry checkpoint is a full training restore point, not just
+        inference weights."""
+        registry.publish("m", trained_vanilla)
+        method = registry.load_method("m", train_config=TINY_TRAIN)
+        splits = load_multi_domain(TRAIN_DOMAINS, TINY_DATA, domains=ALL_DOMAINS)
+        result = method.fit(splits.train)
+        assert np.isfinite(result.final_loss)
+
+
+class TestDtypePolicies:
+    def test_float64_checkpoint_into_float32_stack(
+        self, registry, trained_vanilla, small_batch
+    ):
+        """The serving stack's dtype wins under the default policy."""
+        registry.publish("m", trained_vanilla)
+        previous = get_default_dtype()
+        set_default_dtype(np.float32)
+        try:
+            predictor = registry.load("m")  # dtype_policy="module"
+            dtypes = {p.data.dtype for p in predictor.method.module().parameters()}
+            assert dtypes == {np.dtype(np.float32)}
+            served = predictor.predict(small_batch, 1, np.random.default_rng(0))
+            offline = trained_vanilla.predict(small_batch, 1, np.random.default_rng(0))
+            assert np.abs(served - offline).max() < 1e-3  # float32 round-off only
+        finally:
+            set_default_dtype(previous)
+
+    def test_checkpoint_policy_follows_saved_dtype(self, registry, trained_vanilla):
+        registry.publish("m", trained_vanilla)
+        previous = get_default_dtype()
+        set_default_dtype(np.float32)
+        try:
+            predictor = registry.load("m", dtype_policy="checkpoint")
+            dtypes = {p.data.dtype for p in predictor.method.module().parameters()}
+            assert dtypes == {np.dtype(np.float64)}
+        finally:
+            set_default_dtype(previous)
+
+    def test_strict_policy_raises_on_mismatch(self, registry, trained_vanilla):
+        registry.publish("m", trained_vanilla)
+        previous = get_default_dtype()
+        set_default_dtype(np.float32)
+        try:
+            with pytest.raises(ValueError, match="dtype"):
+                registry.load("m", dtype_policy="strict")
+        finally:
+            set_default_dtype(previous)

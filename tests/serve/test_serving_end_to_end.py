@@ -1,0 +1,99 @@
+"""End-to-end serving: stream sim-domain points, match offline predictions.
+
+This is the ISSUE-2 acceptance demo as a test: synthetic observations from
+the social-force simulator stream through ``repro.serve`` and every agent
+gets ``[K, pred_len, 2]`` world-frame futures identical (1e-6) to the
+offline ``predict_samples`` evaluation path, with no gradient state
+allocated anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import OBS_LEN, PRED_LEN, TrajectoryDataset, TrajectorySample
+from repro.serve import Predictor, ServingEngine
+from repro.sim.generator import simulate_scene
+
+
+@pytest.fixture(scope="module")
+def streamed_scene():
+    scene = simulate_scene("sdd", num_frames=OBS_LEN + PRED_LEN + 4, rng=9)
+    start = 2
+    window = OBS_LEN + PRED_LEN
+    tracks = [t for t in scene.tracks if t.covers(start, start + window)]
+    assert len(tracks) >= 2, "simulation produced too few full tracks"
+    return scene, tracks, start
+
+
+def offline_batch(tracks, start):
+    """The offline evaluation batch for the same windows the stream carries."""
+    mid = start + OBS_LEN
+    samples = []
+    for track in tracks:
+        neighbours = [
+            other.slice_frames(start, mid)
+            for other in tracks
+            if other.agent_id != track.agent_id
+        ]
+        samples.append(
+            TrajectorySample(
+                obs=track.slice_frames(start, mid),
+                future=track.slice_frames(mid, mid + PRED_LEN),
+                neighbours=np.stack(neighbours)
+                if neighbours
+                else np.zeros((0, OBS_LEN, 2)),
+                domain="sdd",
+            )
+        )
+    return TrajectoryDataset(samples, domains=["sdd"]).collate(range(len(samples)))
+
+
+@pytest.mark.parametrize("fixture_name", ["trained_vanilla", "trained_adaptraj"])
+def test_streamed_predictions_match_offline(fixture_name, streamed_scene, request):
+    method = request.getfixturevalue(fixture_name)
+    scene, tracks, start = streamed_scene
+    mid = start + OBS_LEN
+    num_samples = 2
+
+    engine = ServingEngine(
+        Predictor(method), num_samples=num_samples, max_batch_size=64, rng=0
+    )
+    for frame in range(start, mid):
+        engine.ingest_frame(
+            frame,
+            {t.agent_id: tuple(t.positions[frame - t.start_frame]) for t in tracks},
+        )
+    served = engine.predict_ready(mid - 1)
+    assert set(served) == {t.agent_id for t in tracks}
+
+    batch = offline_batch(tracks, start)
+    offline = method.predict(batch, num_samples, np.random.default_rng(0))
+    offline_world = offline + batch.origins[None, :, None, :]
+    for row, track in enumerate(tracks):
+        assert served[track.agent_id].shape == (num_samples, PRED_LEN, 2)
+        np.testing.assert_allclose(
+            served[track.agent_id], offline_world[:, row], atol=1e-6
+        )
+
+
+def test_serving_allocates_no_grad_state(trained_vanilla, streamed_scene):
+    """Inference mode: no parameter grads, and the module tree stays in the
+    training state it had before serving."""
+    scene, tracks, start = streamed_scene
+    mid = start + OBS_LEN
+    module = trained_vanilla.module()
+    module.zero_grad()
+    assert module.training  # training-mode by default
+
+    engine = ServingEngine(Predictor(trained_vanilla), num_samples=1, rng=0)
+    for frame in range(start, mid):
+        engine.ingest_frame(
+            frame,
+            {t.agent_id: tuple(t.positions[frame - t.start_frame]) for t in tracks},
+        )
+    engine.predict_ready(mid - 1)
+
+    assert all(p.grad is None for p in module.parameters())
+    assert module.training  # restored, not force-reset

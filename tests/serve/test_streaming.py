@@ -1,0 +1,116 @@
+"""Streaming-window tests: fill/gap semantics, readiness, neighbour assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import StreamingWindows
+
+
+def feed_track(windows: StreamingWindows, agent_id, start: int, points: np.ndarray):
+    for offset, (x, y) in enumerate(points):
+        windows.push(agent_id, start + offset, x, y)
+
+
+class TestWindowLifecycle:
+    def test_not_ready_until_full(self):
+        windows = StreamingWindows(obs_len=4)
+        for frame in range(3):
+            windows.push("a", frame, float(frame), 0.0)
+            assert windows.ready_agents(frame) == []
+        windows.push("a", 3, 3.0, 0.0)
+        assert windows.ready_agents(3) == ["a"]
+
+    def test_window_slides(self):
+        windows = StreamingWindows(obs_len=3)
+        feed_track(windows, "a", 0, [(float(f), 0.0) for f in range(5)])
+        [request] = windows.requests(4)
+        np.testing.assert_array_equal(request.obs[:, 0], [2.0, 3.0, 4.0])
+
+    def test_stale_agent_not_ready(self):
+        windows = StreamingWindows(obs_len=3)
+        feed_track(windows, "a", 0, [(0.0, 0.0)] * 3)
+        assert windows.ready_agents(2) == ["a"]
+        # No point at frame 3: the agent's window is not current there.
+        assert windows.ready_agents(3) == []
+
+    def test_gap_resets_window(self):
+        windows = StreamingWindows(obs_len=3)
+        feed_track(windows, "a", 0, [(0.0, 0.0)] * 3)
+        windows.push("a", 5, 9.0, 9.0)  # frames 3-4 missing
+        assert windows.ready_agents(5) == []
+        windows.push("a", 6, 9.0, 9.0)
+        windows.push("a", 7, 9.0, 9.0)
+        assert windows.ready_agents(7) == ["a"]
+
+    def test_duplicate_frame_keeps_latest(self):
+        windows = StreamingWindows(obs_len=2)
+        windows.push("a", 0, 1.0, 1.0)
+        windows.push("a", 0, 2.0, 2.0)
+        windows.push("a", 1, 3.0, 3.0)
+        [request] = windows.requests(1)
+        np.testing.assert_array_equal(request.obs, [[2.0, 2.0], [3.0, 3.0]])
+
+    def test_evict_and_drop_stale(self):
+        windows = StreamingWindows(obs_len=2)
+        feed_track(windows, "a", 0, [(0.0, 0.0)] * 2)
+        feed_track(windows, "b", 0, [(1.0, 1.0)] * 2)
+        windows.evict("a")
+        assert windows.num_agents == 1
+        windows.push("b", 2, 1.0, 1.0)
+        feed_track(windows, "c", 10, [(2.0, 2.0)] * 2)
+        assert windows.drop_stale(frame=11, max_age=3) == 1  # "b" last seen at 2
+        assert windows.num_agents == 1
+
+
+class TestRequestAssembly:
+    def test_neighbours_are_other_ready_agents(self):
+        windows = StreamingWindows(obs_len=2)
+        feed_track(windows, "a", 0, [(0.0, 0.0), (1.0, 0.0)])
+        feed_track(windows, "b", 0, [(5.0, 5.0), (6.0, 5.0)])
+        feed_track(windows, "c", 1, [(9.0, 9.0)])  # not ready yet
+        requests = {r.request_id[0]: r for r in windows.requests(1)}
+        assert set(requests) == {"a", "b"}
+        assert requests["a"].num_neighbours == 1
+        np.testing.assert_array_equal(
+            requests["a"].neighbours[0], [[5.0, 5.0], [6.0, 5.0]]
+        )
+        np.testing.assert_array_equal(
+            requests["b"].neighbours[0], [[0.0, 0.0], [1.0, 0.0]]
+        )
+
+    def test_max_neighbours_keeps_nearest(self):
+        windows = StreamingWindows(obs_len=1, max_neighbours=2)
+        windows.push("focal", 0, 0.0, 0.0)
+        for i, distance in enumerate([30.0, 10.0, 20.0]):
+            windows.push(f"n{i}", 0, distance, 0.0)
+        request = windows.requests(0)[0]
+        assert request.num_neighbours == 2
+        np.testing.assert_array_equal(
+            sorted(request.neighbours[:, -1, 0]), [10.0, 20.0]
+        )
+
+    def test_request_ids_carry_frame(self):
+        windows = StreamingWindows(obs_len=1)
+        windows.push("a", 7, 0.0, 0.0)
+        [request] = windows.requests(7)
+        assert request.request_id == ("a", 7)
+
+    def test_no_ready_agents_empty(self):
+        windows = StreamingWindows(obs_len=4)
+        assert windows.requests(0) == []
+
+    def test_rejects_bad_obs_len(self):
+        with pytest.raises(ValueError):
+            StreamingWindows(obs_len=0)
+
+    def test_request_buffers_are_copies(self):
+        """Emitted windows must not alias the live ring buffers."""
+        windows = StreamingWindows(obs_len=2)
+        feed_track(windows, "a", 0, [(0.0, 0.0), (1.0, 0.0)])
+        feed_track(windows, "b", 0, [(2.0, 0.0), (3.0, 0.0)])
+        [ra, rb] = windows.requests(1)
+        windows.push("a", 2, 99.0, 99.0)
+        np.testing.assert_array_equal(ra.obs[:, 0], [0.0, 1.0])
+        np.testing.assert_array_equal(rb.neighbours[0][:, 0], [0.0, 1.0])
