@@ -1,11 +1,24 @@
-"""Benchmark: regenerate paper Figure 3 (ADE vs number of source domains)."""
+"""Benchmark: regenerate paper Figure 3 (ADE vs number of source domains).
 
-from benchmarks.conftest import BENCH_SCALE
+Runs the declared experiment grid with ``REPRO_BENCH_JOBS`` workers under
+pytest; executable directly with ``--jobs N`` (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
+
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE
 from repro.experiments import figure3_source_domains
 
 
 def test_figure3_source_domains(regenerate):
-    result = regenerate(figure3_source_domains, BENCH_SCALE)
+    result = regenerate(figure3_source_domains, BENCH_SCALE, jobs=BENCH_JOBS)
     assert len(result.series) == 2
     for points in result.series.values():
         assert len(points) == 4
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(figure3_source_domains, "Figure 3 (source-domain sweep)")

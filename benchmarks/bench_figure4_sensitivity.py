@@ -1,8 +1,16 @@
-"""Benchmark: regenerate paper Figure 4 (hyperparameter sensitivity, a-f)."""
+"""Benchmark: regenerate paper Figure 4 (hyperparameter sensitivity, a-f).
 
+Runs the declared experiment grid with ``REPRO_BENCH_JOBS`` workers under
+pytest; executable directly with ``--jobs N`` (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
+
+import functools
 import os
 
-from benchmarks.conftest import BENCH_SCALE, RESULTS_DIR
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE, RESULTS_DIR
 from repro.experiments import figure4_sensitivity
 
 #: Figure 4 sweeps 6 hyperparameters x 3 values x 2 backbones = 36 training
@@ -14,7 +22,7 @@ BACKBONES = tuple(
 
 def test_figure4_sensitivity(regenerate):
     def run():
-        return figure4_sensitivity(BENCH_SCALE, backbones=BACKBONES)
+        return figure4_sensitivity(BENCH_SCALE, backbones=BACKBONES, jobs=BENCH_JOBS)
 
     figures = regenerate(run)
     assert set(figures) == {
@@ -23,3 +31,12 @@ def test_figure4_sensitivity(regenerate):
     for figure in figures.values():
         text = figure.save(RESULTS_DIR)
         print("\n" + text)
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(
+        functools.partial(figure4_sensitivity, backbones=BACKBONES),
+        "Figure 4 (hyperparameter sensitivity)",
+    )

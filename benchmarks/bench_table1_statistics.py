@@ -1,4 +1,11 @@
-"""Benchmark: regenerate paper Table I (dataset statistics)."""
+"""Benchmark: regenerate paper Table I (dataset statistics).
+
+Table I only simulates scenes (no training runs), so it takes no ``--jobs``
+flag; it is still executable directly (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
 
 from benchmarks.conftest import BENCH_SCALE
 from repro.experiments import table1_dataset_statistics
@@ -7,3 +14,9 @@ from repro.experiments import table1_dataset_statistics
 def test_table1_dataset_statistics(regenerate):
     result = regenerate(table1_dataset_statistics, BENCH_SCALE)
     assert len(result.rows) == 4
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(table1_dataset_statistics, "Table I (dataset statistics)", supports_jobs=False)

@@ -1,9 +1,22 @@
-"""Benchmark: regenerate paper Table II (cross-domain performance decline)."""
+"""Benchmark: regenerate paper Table II (cross-domain performance decline).
 
-from benchmarks.conftest import BENCH_SCALE
+Runs the declared experiment grid with ``REPRO_BENCH_JOBS`` workers under
+pytest; executable directly with ``--jobs N`` (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
+
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE
 from repro.experiments import table2_domain_shift
 
 
 def test_table2_domain_shift(regenerate):
-    result = regenerate(table2_domain_shift, BENCH_SCALE)
+    result = regenerate(table2_domain_shift, BENCH_SCALE, jobs=BENCH_JOBS)
     assert len(result.rows) == 2
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(table2_domain_shift, "Table II (cross-domain performance decline)")

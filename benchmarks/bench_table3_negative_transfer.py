@@ -1,9 +1,22 @@
-"""Benchmark: regenerate paper Table III (negative transfer)."""
+"""Benchmark: regenerate paper Table III (negative transfer).
 
-from benchmarks.conftest import BENCH_SCALE
+Runs the declared experiment grid with ``REPRO_BENCH_JOBS`` workers under
+pytest; executable directly with ``--jobs N`` (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
+
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE
 from repro.experiments import table3_negative_transfer
 
 
 def test_table3_negative_transfer(regenerate):
-    result = regenerate(table3_negative_transfer, BENCH_SCALE)
+    result = regenerate(table3_negative_transfer, BENCH_SCALE, jobs=BENCH_JOBS)
     assert len(result.rows) == 3
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(table3_negative_transfer, "Table III (negative transfer)")

@@ -1,9 +1,22 @@
-"""Benchmark: regenerate paper Table IV (main multi-source comparison)."""
+"""Benchmark: regenerate paper Table IV (main multi-source comparison).
 
-from benchmarks.conftest import BENCH_SCALE
+Runs the declared experiment grid with ``REPRO_BENCH_JOBS`` workers under
+pytest; executable directly with ``--jobs N`` (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
+
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE
 from repro.experiments import table4_main_comparison
 
 
 def test_table4_main_comparison(regenerate):
-    result = regenerate(table4_main_comparison, BENCH_SCALE)
+    result = regenerate(table4_main_comparison, BENCH_SCALE, jobs=BENCH_JOBS)
     assert len(result.rows) == 8  # 2 backbones x 4 methods
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(table4_main_comparison, "Table IV (main multi-source comparison)")

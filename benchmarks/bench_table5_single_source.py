@@ -1,9 +1,22 @@
-"""Benchmark: regenerate paper Table V (single-source domain generalization)."""
+"""Benchmark: regenerate paper Table V (single-source domain generalization).
 
-from benchmarks.conftest import BENCH_SCALE
+Runs the declared experiment grid with ``REPRO_BENCH_JOBS`` workers under
+pytest; executable directly with ``--jobs N`` (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
+
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE
 from repro.experiments import table5_single_source
 
 
 def test_table5_single_source(regenerate):
-    result = regenerate(table5_single_source, BENCH_SCALE)
+    result = regenerate(table5_single_source, BENCH_SCALE, jobs=BENCH_JOBS)
     assert len(result.rows) == 8
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(table5_single_source, "Table V (single-source domain generalization)")

@@ -1,9 +1,22 @@
-"""Benchmark: regenerate paper Table VI (source-domain count sweep)."""
+"""Benchmark: regenerate paper Table VI (source-domain count sweep).
 
-from benchmarks.conftest import BENCH_SCALE
+Runs the declared experiment grid with ``REPRO_BENCH_JOBS`` workers under
+pytest; executable directly with ``--jobs N`` (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
+
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE
 from repro.experiments import table6_source_count
 
 
 def test_table6_source_count(regenerate):
-    result = regenerate(table6_source_count, BENCH_SCALE)
+    result = regenerate(table6_source_count, BENCH_SCALE, jobs=BENCH_JOBS)
     assert len(result.rows) == 6
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(table6_source_count, "Table VI (source-domain count sweep)")

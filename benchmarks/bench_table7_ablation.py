@@ -1,9 +1,22 @@
-"""Benchmark: regenerate paper Table VII (ablation study)."""
+"""Benchmark: regenerate paper Table VII (ablation study).
 
-from benchmarks.conftest import BENCH_SCALE
+Runs the declared experiment grid with ``REPRO_BENCH_JOBS`` workers under
+pytest; executable directly with ``--jobs N`` (see ``benchmarks/cli.py``).
+"""
+
+if __name__ == "__main__":  # script mode: put repo root + src on sys.path
+    import _bootstrap  # noqa: F401
+
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE
 from repro.experiments import table7_ablation
 
 
 def test_table7_ablation(regenerate):
-    result = regenerate(table7_ablation, BENCH_SCALE)
+    result = regenerate(table7_ablation, BENCH_SCALE, jobs=BENCH_JOBS)
     assert len(result.rows) == 6  # 2 backbones x 3 variants
+
+
+if __name__ == "__main__":
+    from benchmarks.cli import main
+
+    main(table7_ablation, "Table VII (ablation study)")

@@ -1,0 +1,67 @@
+"""Command-line entry point shared by the table/figure benchmark scripts.
+
+Every ``benchmarks/bench_table*.py`` / ``bench_figure*.py`` doubles as a
+script::
+
+    PYTHONPATH=src python benchmarks/bench_table4_main.py --jobs 4 --scale tiny
+
+The ``--jobs`` flag routes through :func:`repro.experiments.runner.run_grid`
+(``0`` = one worker per CPU), and the emitted ``results/<name>.json`` gains a
+``meta`` block recording the wall clock of the whole regeneration plus the
+grid's own timing (``grid_wall_seconds``, ``jobs``, ``num_runs``) — the
+start of a perf trajectory for the experiment suite itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Scale used by the benchmark suite; override with REPRO_BENCH_SCALE=small.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+#: Worker count used when benchmarks run under pytest (the CLI uses --jobs).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def main(generator, name: str, supports_jobs: bool = True, argv=None) -> None:
+    """Regenerate one table/figure from the command line and persist it."""
+    parser = argparse.ArgumentParser(
+        description=f"Regenerate {name} and write results/ artifacts."
+    )
+    parser.add_argument(
+        "--scale",
+        default=BENCH_SCALE,
+        help="experiment scale (tiny/small/paper; default from REPRO_BENCH_SCALE)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stochastic realization")
+    if supports_jobs:
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=BENCH_JOBS,
+            help="parallel worker processes for the run grid (0 = all CPUs)",
+        )
+    parser.add_argument(
+        "--results-dir", default=RESULTS_DIR, help="output directory for .txt/.json"
+    )
+    args = parser.parse_args(argv)
+
+    kwargs = {"seed": args.seed}
+    if supports_jobs:
+        kwargs["jobs"] = args.jobs
+    start = time.perf_counter()
+    result = generator(args.scale, **kwargs)
+    wall = time.perf_counter() - start
+
+    results = result.values() if isinstance(result, dict) else [result]
+    for item in results:
+        item.meta.setdefault("scale", args.scale)
+        item.meta["total_wall_seconds"] = round(wall, 4)
+        if supports_jobs:
+            item.meta.setdefault("jobs", args.jobs)
+        print(item.save(args.results_dir))
+        print()

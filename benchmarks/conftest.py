@@ -5,18 +5,19 @@ experiment scale (see ``repro.experiments.scales``), times the full
 regeneration via pytest-benchmark (single round — these are minutes-long
 macro benchmarks, not micro benchmarks), and writes the rendered output
 under ``results/``.
+
+Under pytest the grids run with ``REPRO_BENCH_JOBS`` workers (default 1);
+each benchmark module is also directly executable with a ``--jobs`` flag —
+see ``benchmarks/cli.py``.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-#: Scale used by the benchmark suite; override with REPRO_BENCH_SCALE=small.
-BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+from benchmarks.cli import BENCH_JOBS, BENCH_SCALE, RESULTS_DIR
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+__all__ = ["BENCH_JOBS", "BENCH_SCALE", "RESULTS_DIR"]
 
 
 @pytest.fixture

@@ -15,9 +15,14 @@ from repro.data.dataset import (
 from repro.data.preprocess import pixels_to_world, resample_scene, resample_track
 from repro.data.registry import (
     DataConfig,
+    cache_stats,
     clear_cache,
+    default_cache_dir,
+    get_cache_dir,
     load_domain_dataset,
     load_multi_domain,
+    reset_cache_stats,
+    set_cache_dir,
 )
 from repro.data.splits import DatasetSplits, chronological_split
 from repro.data.trajectory import AgentTrack, Scene
@@ -32,12 +37,16 @@ __all__ = [
     "Scene",
     "TrajectoryDataset",
     "TrajectorySample",
+    "cache_stats",
     "chronological_split",
     "clear_cache",
+    "default_cache_dir",
     "extract_samples",
+    "get_cache_dir",
     "load_domain_dataset",
     "load_multi_domain",
     "pixels_to_world",
     "resample_scene",
     "resample_track",
+    "set_cache_dir",
 ]

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["AgentTrack", "Scene"]
+__all__ = ["AgentTrack", "Scene", "scenes_equal"]
 
 
 @dataclass
@@ -120,3 +120,28 @@ class Scene:
         if not present:
             return np.zeros((0, 2))
         return np.stack([t.positions[frame - t.start_frame] for t in present])
+
+
+def scenes_equal(a: Scene, b: Scene) -> bool:
+    """Strict bitwise equality of two scenes, including track order.
+
+    The golden contract between the vectorized scene generator and its seed
+    oracle (and between cached and regenerated datasets): identical metadata
+    and, track by track in order, identical ids, start frames, and positions
+    down to the last bit — track *order* matters because it determines sample
+    order and therefore batch composition downstream.
+    """
+    if (a.scene_id, a.domain, a.dt, len(a.tracks)) != (
+        b.scene_id,
+        b.domain,
+        b.dt,
+        len(b.tracks),
+    ):
+        return False
+    return all(
+        ta.agent_id == tb.agent_id
+        and ta.start_frame == tb.start_frame
+        and ta.positions.shape == tb.positions.shape
+        and np.array_equal(ta.positions, tb.positions)
+        for ta, tb in zip(a.tracks, b.tracks)
+    )

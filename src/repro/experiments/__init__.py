@@ -12,6 +12,14 @@ from repro.experiments.figures import (
 )
 from repro.experiments.harness import RunResult, run_experiment
 from repro.experiments.reporting import format_table, save_json, save_table
+from repro.experiments.runner import (
+    GridReport,
+    RunSpec,
+    execute_spec,
+    resolve_jobs,
+    run_grid,
+    run_grid_report,
+)
 from repro.experiments.scales import SCALES, ExperimentScale, get_scale
 from repro.experiments.tables import (
     TableResult,
@@ -28,15 +36,21 @@ from repro.experiments.tables import (
 __all__ = [
     "ExperimentScale",
     "FigureResult",
+    "GridReport",
     "RunResult",
+    "RunSpec",
     "SCALES",
     "TableResult",
     "ascii_bar_chart",
+    "execute_spec",
     "figure3_source_domains",
     "figure4_sensitivity",
     "format_table",
     "get_scale",
+    "resolve_jobs",
     "run_experiment",
+    "run_grid",
+    "run_grid_report",
     "save_json",
     "save_table",
     "table1_dataset_statistics",

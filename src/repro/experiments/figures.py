@@ -4,6 +4,10 @@ Figures are reproduced as *data series* (the quantity plotted on each axis)
 rendered as ASCII bar charts and persisted as JSON — the numpy-only
 environment has no plotting stack, and the series are what reproduction
 verifies (who wins, and how each hyperparameter bends the curve).
+
+Like the tables, each figure declares its grid of independent runs as
+:class:`repro.experiments.runner.RunSpec` and submits it to the experiment
+runner (``jobs > 1`` executes on a process pool with bit-identical results).
 """
 
 from __future__ import annotations
@@ -11,8 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.config import AdapTrajConfig
-from repro.experiments.harness import RunResult, run_experiment
+from repro.experiments.harness import RunResult
 from repro.experiments.reporting import save_json
+from repro.experiments.runner import RunSpec, run_grid_report
 from repro.experiments.scales import ExperimentScale, get_scale
 
 __all__ = [
@@ -31,6 +36,7 @@ class FigureResult:
     title: str
     series: dict[str, list[tuple[str, float, float]]]
     runs: list[RunResult] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     @property
     def text(self) -> str:
@@ -45,7 +51,7 @@ class FigureResult:
     def save(self, directory: str = "results") -> str:
         save_json(
             f"{directory}/{self.name}.json",
-            {"title": self.title, "series": self.series},
+            {"title": self.title, "series": self.series, "meta": self.meta},
         )
         import os
 
@@ -79,32 +85,36 @@ def figure3_source_domains(
     scale: ExperimentScale | str = "tiny",
     seed: int = 0,
     backbones: tuple[str, ...] = ("lbebm", "pecnet"),
+    jobs: int | None = 1,
 ) -> FigureResult:
     """ADE of {LBEBM,PECNet}-AdapTraj vs the source-domain set (paper Fig. 3)."""
     scale = _scale(scale)
     source_sets = [
-        ("SDD", ["sdd"]),
-        ("ETH-UCY", ["eth_ucy"]),
-        ("ETH-UCY,L-CAS", ["eth_ucy", "lcas"]),
-        ("ETH-UCY,L-CAS,SYI", ["eth_ucy", "lcas", "syi"]),
+        ("SDD", ("sdd",)),
+        ("ETH-UCY", ("eth_ucy",)),
+        ("ETH-UCY,L-CAS", ("eth_ucy", "lcas")),
+        ("ETH-UCY,L-CAS,SYI", ("eth_ucy", "lcas", "syi")),
     ]
-    runs: list[RunResult] = []
+    grid = [
+        RunSpec(backbone, "adaptraj", sources, "sdd", scale=scale, seed=seed)
+        for backbone in backbones
+        for _, sources in source_sets
+    ]
+    report = run_grid_report(grid, jobs=jobs)
+    results = iter(report.results)
     series: dict[str, list[tuple[str, float, float]]] = {}
     for backbone in backbones:
-        label = f"{backbone.upper()}-AdapTraj"
         points = []
-        for set_label, sources in source_sets:
-            result = run_experiment(
-                backbone, "adaptraj", sources=sources, target="sdd", scale=scale, seed=seed
-            )
-            runs.append(result)
+        for set_label, _ in source_sets:
+            result = next(results)
             points.append((set_label, result.ade, result.fde))
-        series[label] = points
+        series[f"{backbone.upper()}-AdapTraj"] = points
     return FigureResult(
         name="figure3_source_domains",
         title="Figure 3: AdapTraj ADE on SDD vs source-domain set",
         series=series,
-        runs=runs,
+        runs=report.results,
+        meta=report.meta(),
     )
 
 
@@ -124,51 +134,69 @@ SWEEPS: dict[str, list[float]] = {
 }
 
 
+def _sweep_config(base_config: AdapTrajConfig, parameter: str, value: float) -> AdapTrajConfig:
+    """One swept configuration, keeping the phase boundaries well-ordered."""
+    if parameter == "end_fraction":
+        return replace(
+            base_config,
+            end_fraction=value,
+            start_fraction=min(base_config.start_fraction, value),
+        )
+    if parameter == "start_fraction":
+        return replace(
+            base_config,
+            start_fraction=value,
+            end_fraction=max(base_config.end_fraction, value),
+        )
+    return replace(base_config, **{parameter: value})
+
+
 def figure4_sensitivity(
     scale: ExperimentScale | str = "tiny",
     seed: int = 0,
     backbones: tuple[str, ...] = ("pecnet", "lbebm"),
     parameters: tuple[str, ...] = tuple(SWEEPS),
     sweeps: dict[str, list[float]] | None = None,
+    jobs: int | None = 1,
 ) -> dict[str, FigureResult]:
-    """One :class:`FigureResult` per swept hyperparameter (paper Fig. 4a–f)."""
+    """One :class:`FigureResult` per swept hyperparameter (paper Fig. 4a–f).
+
+    The full sweep (all parameters x values x backbones) is submitted as one
+    grid, so ``jobs > 1`` parallelizes across the whole figure, not per
+    panel.
+    """
     scale = _scale(scale)
     sweeps = sweeps or SWEEPS
     unknown = set(parameters) - set(sweeps)
     if unknown:
         raise ValueError(f"no sweep defined for parameters {sorted(unknown)}")
-    sources = ["eth_ucy", "lcas", "syi"]
-    figures: dict[str, FigureResult] = {}
+    sources = ("eth_ucy", "lcas", "syi")
     base_config = AdapTrajConfig()
+    grid = [
+        RunSpec(
+            backbone,
+            "adaptraj",
+            sources,
+            "sdd",
+            scale=scale,
+            seed=seed,
+            adaptraj_config=_sweep_config(base_config, parameter, value),
+        )
+        for parameter in parameters
+        for backbone in backbones
+        for value in sweeps[parameter]
+    ]
+    report = run_grid_report(grid, jobs=jobs)
+    results = iter(report.results)
+
+    figures: dict[str, FigureResult] = {}
     for parameter in parameters:
         series: dict[str, list[tuple[str, float, float]]] = {}
         runs: list[RunResult] = []
         for backbone in backbones:
             points = []
             for value in sweeps[parameter]:
-                if parameter == "end_fraction":
-                    config = replace(
-                        base_config,
-                        end_fraction=value,
-                        start_fraction=min(base_config.start_fraction, value),
-                    )
-                elif parameter == "start_fraction":
-                    config = replace(
-                        base_config,
-                        start_fraction=value,
-                        end_fraction=max(base_config.end_fraction, value),
-                    )
-                else:
-                    config = replace(base_config, **{parameter: value})
-                result = run_experiment(
-                    backbone,
-                    "adaptraj",
-                    sources=sources,
-                    target="sdd",
-                    scale=scale,
-                    seed=seed,
-                    adaptraj_config=config,
-                )
+                result = next(results)
                 runs.append(result)
                 points.append((f"{value:g}", result.ade, result.fde))
             series[f"{backbone.upper()}-AdapTraj"] = points
@@ -177,5 +205,6 @@ def figure4_sensitivity(
             title=f"Figure 4: sensitivity of ADE/FDE to {parameter}",
             series=series,
             runs=runs,
+            meta=report.meta(),
         )
     return figures

@@ -37,6 +37,23 @@ class RunResult:
     def label(self) -> str:
         return f"{self.backbone}-{self.method}"
 
+    def signature(self) -> tuple:
+        """The deterministic payload of the run.
+
+        Everything except the wall-clock fields (``train_seconds``,
+        ``inference_seconds``), which legitimately differ between otherwise
+        identical runs — serial-vs-parallel equality is asserted on this.
+        """
+        return (
+            self.backbone,
+            self.method,
+            self.sources,
+            self.target,
+            self.ade,
+            self.fde,
+            tuple(self.epoch_losses),
+        )
+
 
 def run_experiment(
     backbone: str,

@@ -1,9 +1,12 @@
 """Generators for every table of the paper's evaluation (Tables I–VIII).
 
-Each ``tableN_*`` function runs the experiments behind one paper table and
-returns a :class:`TableResult` holding the rendered ASCII table plus the raw
-numbers; the matching benchmark in ``benchmarks/`` regenerates it and writes
-the output under ``results/``.
+Each ``tableN_*`` function *declares* the grid of independent runs behind
+one paper table as a list of :class:`repro.experiments.runner.RunSpec`,
+submits it to :func:`repro.experiments.runner.run_grid` (serial by default,
+process-parallel with ``jobs > 1`` — results are bit-identical either way),
+and assembles the returned runs into a :class:`TableResult` holding the
+rendered ASCII table plus the raw numbers; the matching benchmark in
+``benchmarks/`` regenerates it and writes the output under ``results/``.
 
 Domain-name mapping between the paper and the synthetic domains:
 ``ETH&UCY -> eth_ucy``, ``L-CAS -> lcas``, ``SYI -> syi``, ``SDD -> sdd``.
@@ -13,9 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.config import AdapTrajConfig
-from repro.experiments.harness import RunResult, run_experiment
+from repro.experiments.harness import RunResult
 from repro.experiments.reporting import format_table, save_json, save_table
+from repro.experiments.runner import RunSpec, run_grid_report
 from repro.experiments.scales import ExperimentScale, get_scale
 from repro.metrics.statistics import compute_statistics
 from repro.sim.domains import DOMAIN_NAMES
@@ -47,6 +50,7 @@ class TableResult:
     headers: list[str]
     rows: list[list[object]]
     runs: list[RunResult] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     @property
     def text(self) -> str:
@@ -59,6 +63,7 @@ class TableResult:
             {
                 "headers": self.headers,
                 "rows": self.rows,
+                "meta": self.meta,
                 "runs": [vars(r) for r in self.runs],
             },
         )
@@ -75,6 +80,12 @@ def _fmt(ade: float, fde: float) -> str:
 
 def _sources_for(target: str) -> list[str]:
     return [d for d in DOMAIN_NAMES if d != target]
+
+
+def _run(specs: list[RunSpec], jobs: int | None) -> tuple[list[RunResult], dict]:
+    """Execute a declared grid and return (ordered results, timing meta)."""
+    report = run_grid_report(specs, jobs=jobs)
+    return report.results, report.meta()
 
 
 # ----------------------------------------------------------------------
@@ -117,7 +128,7 @@ def table1_dataset_statistics(
 # Table II — cross-domain performance decline
 # ----------------------------------------------------------------------
 def table2_domain_shift(
-    scale: ExperimentScale | str = "tiny", seed: int = 0
+    scale: ExperimentScale | str = "tiny", seed: int = 0, jobs: int | None = 1
 ) -> TableResult:
     """Existing methods trained on SDD vs ETH&UCY, tested on SDD (paper Table II)."""
     scale = _scale(scale)
@@ -127,15 +138,19 @@ def table2_domain_shift(
         ("pecnet", "counter", "Counter"),
         ("pecnet", "causal_motion", "CausalMotion"),
     ]
-    runs: list[RunResult] = []
+    sources = ("sdd", "eth_ucy")
+    grid = [
+        RunSpec(backbone, method, (source,), "sdd", scale=scale, seed=seed)
+        for source in sources
+        for backbone, method, _ in columns
+    ]
+    runs, meta = _run(grid, jobs)
+    results = iter(runs)
     rows = []
-    for source in ("sdd", "eth_ucy"):
+    for source in sources:
         row: list[object] = [source]
-        for backbone, method, _ in columns:
-            result = run_experiment(
-                backbone, method, sources=[source], target="sdd", scale=scale, seed=seed
-            )
-            runs.append(result)
+        for _ in columns:
+            result = next(results)
             row.append(_fmt(result.ade, result.fde))
         rows.append(row)
     return TableResult(
@@ -144,6 +159,7 @@ def table2_domain_shift(
         headers=["Source Domain", *[label for *_, label in columns]],
         rows=rows,
         runs=runs,
+        meta=meta,
     )
 
 
@@ -151,24 +167,28 @@ def table2_domain_shift(
 # Table III — negative transfer
 # ----------------------------------------------------------------------
 def table3_negative_transfer(
-    scale: ExperimentScale | str = "tiny", seed: int = 0
+    scale: ExperimentScale | str = "tiny", seed: int = 0, jobs: int | None = 1
 ) -> TableResult:
     """Single-source DG methods on growing source sets, tested on SDD (Table III)."""
     scale = _scale(scale)
     source_sets = [
-        ["eth_ucy"],
-        ["eth_ucy", "lcas"],
-        ["eth_ucy", "lcas", "syi"],
+        ("eth_ucy",),
+        ("eth_ucy", "lcas"),
+        ("eth_ucy", "lcas", "syi"),
     ]
-    runs: list[RunResult] = []
+    methods = ("counter", "causal_motion")
+    grid = [
+        RunSpec("pecnet", method, sources, "sdd", scale=scale, seed=seed)
+        for sources in source_sets
+        for method in methods
+    ]
+    runs, meta = _run(grid, jobs)
+    results = iter(runs)
     rows = []
     for sources in source_sets:
         row: list[object] = [", ".join(sources)]
-        for method in ("counter", "causal_motion"):
-            result = run_experiment(
-                "pecnet", method, sources=sources, target="sdd", scale=scale, seed=seed
-            )
-            runs.append(result)
+        for _ in methods:
+            result = next(results)
             row.append(_fmt(result.ade, result.fde))
         rows.append(row)
     return TableResult(
@@ -177,6 +197,7 @@ def table3_negative_transfer(
         headers=["Source Domains", "Counter", "CausalMotion"],
         rows=rows,
         runs=runs,
+        meta=meta,
     )
 
 
@@ -189,25 +210,32 @@ def table4_main_comparison(
     backbones: tuple[str, ...] = BACKBONES,
     methods: tuple[str, ...] = METHODS,
     targets: tuple[str, ...] = DOMAIN_NAMES,
+    jobs: int | None = 1,
 ) -> TableResult:
     """Leave-one-domain-out comparison of all methods (paper Table IV)."""
     scale = _scale(scale)
-    runs: list[RunResult] = []
+    grid = [
+        RunSpec(
+            backbone,
+            method,
+            tuple(_sources_for(target)),
+            target,
+            scale=scale,
+            seed=seed,
+        )
+        for backbone in backbones
+        for method in methods
+        for target in targets
+    ]
+    runs, meta = _run(grid, jobs)
+    results = iter(runs)
     rows = []
     for backbone in backbones:
         for method in methods:
             row: list[object] = [backbone, method]
             ades, fdes = [], []
-            for target in targets:
-                result = run_experiment(
-                    backbone,
-                    method,
-                    sources=_sources_for(target),
-                    target=target,
-                    scale=scale,
-                    seed=seed,
-                )
-                runs.append(result)
+            for _ in targets:
+                result = next(results)
                 ades.append(result.ade)
                 fdes.append(result.fde)
                 row.append(_fmt(result.ade, result.fde))
@@ -219,6 +247,7 @@ def table4_main_comparison(
         headers=["Backbone", "Method", *targets, "Average"],
         rows=rows,
         runs=runs,
+        meta=meta,
     )
 
 
@@ -230,21 +259,26 @@ def table5_single_source(
     seed: int = 0,
     backbones: tuple[str, ...] = BACKBONES,
     methods: tuple[str, ...] = METHODS,
+    jobs: int | None = 1,
 ) -> TableResult:
     """Each dataset as the single source, evaluated on SDD (paper Table V)."""
     scale = _scale(scale)
     sources = [d for d in DOMAIN_NAMES if d != "sdd"]
-    runs: list[RunResult] = []
+    grid = [
+        RunSpec(backbone, method, (source,), "sdd", scale=scale, seed=seed)
+        for backbone in backbones
+        for method in methods
+        for source in sources
+    ]
+    runs, meta = _run(grid, jobs)
+    results = iter(runs)
     rows = []
     for backbone in backbones:
         for method in methods:
             row: list[object] = [backbone, method]
             ades, fdes = [], []
-            for source in sources:
-                result = run_experiment(
-                    backbone, method, sources=[source], target="sdd", scale=scale, seed=seed
-                )
-                runs.append(result)
+            for _ in sources:
+                result = next(results)
                 ades.append(result.ade)
                 fdes.append(result.fde)
                 row.append(_fmt(result.ade, result.fde))
@@ -256,6 +290,7 @@ def table5_single_source(
         headers=["Backbone", "Method", *sources, "Average"],
         rows=rows,
         runs=runs,
+        meta=meta,
     )
 
 
@@ -263,19 +298,23 @@ def table5_single_source(
 # Table VI — number of source domains (PECNet)
 # ----------------------------------------------------------------------
 def table6_source_count(
-    scale: ExperimentScale | str = "tiny", seed: int = 0
+    scale: ExperimentScale | str = "tiny", seed: int = 0, jobs: int | None = 1
 ) -> TableResult:
     """PECNet vs PECNet-AdapTraj across source-domain counts (paper Table VI)."""
     scale = _scale(scale)
-    source_sets = [["sdd"], ["eth_ucy"], ["eth_ucy", "lcas"]]
-    runs: list[RunResult] = []
+    source_sets = [("sdd",), ("eth_ucy",), ("eth_ucy", "lcas")]
+    variants = (("vanilla", "PECNet"), ("adaptraj", "PECNet-AdapTraj"))
+    grid = [
+        RunSpec("pecnet", method, sources, "sdd", scale=scale, seed=seed)
+        for method, _ in variants
+        for sources in source_sets
+    ]
+    runs, meta = _run(grid, jobs)
+    results = iter(runs)
     rows = []
-    for method, label in (("vanilla", "PECNet"), ("adaptraj", "PECNet-AdapTraj")):
+    for _, label in variants:
         for sources in source_sets:
-            result = run_experiment(
-                "pecnet", method, sources=sources, target="sdd", scale=scale, seed=seed
-            )
-            runs.append(result)
+            result = next(results)
             rows.append(
                 [label, ", ".join(sources), f"{result.ade:.3f}", f"{result.fde:.3f}"]
             )
@@ -285,6 +324,7 @@ def table6_source_count(
         headers=["Method", "Source Domains", "ADE", "FDE"],
         rows=rows,
         runs=runs,
+        meta=meta,
     )
 
 
@@ -295,24 +335,30 @@ def table7_ablation(
     scale: ExperimentScale | str = "tiny",
     seed: int = 0,
     backbones: tuple[str, ...] = BACKBONES,
+    jobs: int | None = 1,
 ) -> TableResult:
     """AdapTraj variants w/o specific and w/o invariant features (paper Table VII)."""
     scale = _scale(scale)
     variants = [("no_specific", "w/o specific"), ("no_invariant", "w/o invariant"), ("full", "ours")]
-    runs: list[RunResult] = []
+    grid = [
+        RunSpec(
+            backbone,
+            "adaptraj",
+            tuple(_sources_for("sdd")),
+            "sdd",
+            scale=scale,
+            seed=seed,
+            variant=variant,
+        )
+        for backbone in backbones
+        for variant, _ in variants
+    ]
+    runs, meta = _run(grid, jobs)
+    results = iter(runs)
     rows = []
     for backbone in backbones:
-        for variant, label in variants:
-            result = run_experiment(
-                backbone,
-                "adaptraj",
-                sources=_sources_for("sdd"),
-                target="sdd",
-                scale=scale,
-                seed=seed,
-                variant=variant,
-            )
-            runs.append(result)
+        for _, label in variants:
+            result = next(results)
             rows.append([backbone, label, f"{result.ade:.3f}", f"{result.fde:.3f}"])
     return TableResult(
         name="table7_ablation",
@@ -320,6 +366,7 @@ def table7_ablation(
         headers=["Backbone", "Variant", "ADE", "FDE"],
         rows=rows,
         runs=runs,
+        meta=meta,
     )
 
 
@@ -331,23 +378,35 @@ def table8_inference_time(
     seed: int = 0,
     backbones: tuple[str, ...] = BACKBONES,
     methods: tuple[str, ...] = METHODS,
+    jobs: int | None = 1,
 ) -> TableResult:
-    """Average per-batch inference time per method (paper Table VIII)."""
+    """Average per-batch inference time per method (paper Table VIII).
+
+    Note: the *measurements* here are wall-clock and therefore not part of
+    the serial-vs-parallel determinism contract; running this table with
+    ``jobs > 1`` shares cores between concurrently-timed runs, so keep
+    ``jobs=1`` when the absolute latencies matter.
+    """
     scale = _scale(scale)
-    runs: list[RunResult] = []
+    grid = [
+        RunSpec(
+            backbone,
+            method,
+            tuple(_sources_for("sdd")),
+            "sdd",
+            scale=scale,
+            seed=seed,
+            measure_inference=True,
+        )
+        for backbone in backbones
+        for method in methods
+    ]
+    runs, meta = _run(grid, jobs)
+    results = iter(runs)
     rows = []
     for backbone in backbones:
         for method in methods:
-            result = run_experiment(
-                backbone,
-                method,
-                sources=_sources_for("sdd"),
-                target="sdd",
-                scale=scale,
-                seed=seed,
-                measure_inference=True,
-            )
-            runs.append(result)
+            result = next(results)
             rows.append([backbone, method, f"{result.inference_seconds:.4f}"])
     return TableResult(
         name="table8_inference_time",
@@ -355,4 +414,5 @@ def table8_inference_time(
         headers=["Backbone", "Method", "Inference time (s)"],
         rows=rows,
         runs=runs,
+        meta=meta,
     )

@@ -6,8 +6,15 @@ density, speed, and dominant motion axis reproduce the distribution shifts
 of paper Table I.  See DESIGN.md §2.2 for the substitution rationale.
 """
 
+# Break the sim <-> data import cycle: repro.sim.generator needs
+# repro.data.trajectory, whose package __init__ pulls in repro.data.registry,
+# which imports repro.sim.generator back.  Fully initializing repro.data
+# first makes either package safe to import first.
+import repro.data.trajectory  # noqa: F401  (import-order guard, see above)
+
 from repro.sim.domains import DOMAIN_NAMES, DomainSpec, get_domain
 from repro.sim.generator import generate_scenes, simulate_scene
+from repro.sim.reference import simulate_scene_reference, social_force_step_reference
 from repro.sim.scenarios import (
     ConcourseScenario,
     CorridorScenario,
@@ -38,4 +45,6 @@ __all__ = [
     "generate_scenes",
     "get_domain",
     "simulate_scene",
+    "simulate_scene_reference",
+    "social_force_step_reference",
 ]

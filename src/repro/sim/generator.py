@@ -5,6 +5,15 @@
 sampling positions every ``frame_dt`` seconds into :class:`AgentTrack`
 records.  ``generate_scenes`` produces a list of scenes for a domain — the
 synthetic equivalent of one of the paper's datasets.
+
+This is the vectorized production path: goal checks run as one batched
+scenario call per substep (:meth:`Scenario.is_done_batch`), frames are
+recorded as contiguous per-frame snapshots instead of per-agent position
+lists, and the physics step stacks all walls into a single broadcast.  The
+seed per-agent implementation is preserved in :mod:`repro.sim.reference`;
+``tests/sim/test_generator_fast.py`` asserts the two produce bit-identical
+scenes at fixed seeds, and ``benchmarks/bench_experiment_engine.py`` gates
+the speedup.
 """
 
 from __future__ import annotations
@@ -13,10 +22,60 @@ import numpy as np
 
 from repro.data.trajectory import AgentTrack, Scene
 from repro.sim.domains import DomainSpec, get_domain
-from repro.sim.social_force import AgentBatch, social_force_step
+from repro.sim.social_force import AgentBatch, WallSet, social_force_step
 from repro.utils.seeding import new_rng, spawn_rng
 
 __all__ = ["generate_scenes", "simulate_scene"]
+
+
+def _assemble_tracks(
+    frame_ids: list[np.ndarray],
+    frame_positions: list[np.ndarray],
+    removal_log: list[int],
+) -> list[AgentTrack]:
+    """Group per-frame (ids, positions) snapshots into per-agent tracks.
+
+    Reproduces the seed track ordering exactly: agents despawned during the
+    recording come first in chronological removal order, then agents still
+    present at the end in order of first recorded appearance.  Tracks shorter
+    than 2 frames are dropped (same post-filter as the seed).
+    """
+    if not frame_ids:
+        return []
+    all_ids = np.concatenate(frame_ids)
+    if all_ids.size == 0:
+        return []
+    all_positions = np.concatenate(frame_positions)
+    frames = np.repeat(
+        np.arange(len(frame_ids)), [ids.shape[0] for ids in frame_ids]
+    )
+
+    # Stable sort groups records by agent id while keeping frame order
+    # (snapshots were appended chronologically) within each group.
+    order = np.argsort(all_ids, kind="stable")
+    sorted_ids = all_ids[order]
+    bounds = np.flatnonzero(np.r_[True, sorted_ids[1:] != sorted_ids[:-1]])
+    ends = np.r_[bounds[1:], sorted_ids.size]
+
+    # agent id -> (first appearance index in the record stream, track)
+    segments: dict[int, tuple[int, AgentTrack]] = {}
+    for begin, end in zip(bounds, ends):
+        indices = order[begin:end]
+        agent_id = int(sorted_ids[begin])
+        start_frame = int(frames[indices[0]])
+        segments[agent_id] = (
+            int(indices[0]),
+            AgentTrack(agent_id, start_frame, all_positions[indices]),
+        )
+
+    finished: list[AgentTrack] = []
+    for agent_id in removal_log:
+        seg = segments.pop(agent_id, None)
+        if seg is not None:  # removed before any output frame was recorded
+            finished.append(seg[1])
+    for _, (_, track) in sorted(segments.items(), key=lambda item: item[1][0]):
+        finished.append(track)
+    return [t for t in finished if t.num_frames >= 2]
 
 
 def simulate_scene(
@@ -42,10 +101,13 @@ def simulate_scene(
     batch = AgentBatch.empty()
     next_id = 0
     spawn_rate = domain.spawn_rate()
+    walls = WallSet(scenario.walls)  # endpoint arrays built once, not per substep
 
-    # Recorded positions per agent id: {id: (first_recorded_frame, [positions])}
-    recordings: dict[int, tuple[int, list[np.ndarray]]] = {}
-    finished: list[AgentTrack] = []
+    # Contiguous per-frame snapshots (post-warmup) plus the despawn order —
+    # everything _assemble_tracks needs to rebuild per-agent tracks.
+    frame_ids: list[np.ndarray] = []
+    frame_positions: list[np.ndarray] = []
+    removal_log: list[int] = []
 
     total_frames = warmup_frames + num_frames
     for frame in range(total_frames):
@@ -61,43 +123,36 @@ def simulate_scene(
                 batch.append(event.position, velocity, event.goal, event.desired_speed, next_id)
                 next_id += 1
 
-            social_force_step(batch, domain.params, domain.physics_dt, scenario.walls, rng)
+            social_force_step(batch, domain.params, domain.physics_dt, walls, rng)
 
-            # Goal handling: re-target wanderers, despawn the rest.
+            # Goal handling: one batched done-check; only the few agents that
+            # actually arrived take the per-agent reassignment path (in index
+            # order, keeping the RNG stream identical to the reference).
             if batch.num_agents:
-                keep = np.ones(batch.num_agents, dtype=bool)
-                for i in range(batch.num_agents):
-                    if not scenario.is_done(batch.positions[i], batch.goals[i]):
-                        continue
-                    new_goal = scenario.reassign_goal(rng, batch.positions[i])
-                    if new_goal is None:
-                        keep[i] = False
-                    else:
-                        batch.goals[i] = new_goal
-                if not keep.all():
-                    for agent_id in batch.ids[~keep]:
-                        record = recordings.pop(int(agent_id), None)
-                        if record is not None:
-                            start, positions = record
-                            finished.append(
-                                AgentTrack(int(agent_id), start, np.array(positions))
-                            )
-                    batch.remove(keep)
+                done = scenario.is_done_batch(batch.positions, batch.goals)
+                if done.any():
+                    done_indices = np.flatnonzero(done)
+                    new_goals = scenario.reassign_goals(
+                        rng, batch.positions[done_indices]
+                    )
+                    keep = np.ones(batch.num_agents, dtype=bool)
+                    for i, new_goal in zip(done_indices, new_goals):
+                        if new_goal is None:
+                            keep[i] = False
+                        else:
+                            batch.goals[i] = new_goal
+                    if not keep.all():
+                        removal_log.extend(int(a) for a in batch.ids[~keep])
+                        batch.remove(keep)
 
-        # Record one output frame (after warmup).
+        # Record one output frame (after warmup): one array copy per frame
+        # instead of a Python loop appending per-agent position copies.
         if frame < warmup_frames:
             continue
-        out_frame = frame - warmup_frames
-        for i, agent_id in enumerate(batch.ids):
-            key = int(agent_id)
-            if key not in recordings:
-                recordings[key] = (out_frame, [])
-            recordings[key][1].append(batch.positions[i].copy())
+        frame_ids.append(batch.ids.copy())
+        frame_positions.append(batch.positions.copy())
 
-    for agent_id, (start, positions) in recordings.items():
-        finished.append(AgentTrack(agent_id, start, np.array(positions)))
-
-    tracks = [t for t in finished if t.num_frames >= 2]
+    tracks = _assemble_tracks(frame_ids, frame_positions, removal_log)
     return Scene(scene_id=scene_id, domain=domain.name, dt=domain.frame_dt, tracks=tracks)
 
 

@@ -58,13 +58,40 @@ class Scenario:
     def spawn(self, rng: np.random.Generator) -> SpawnEvent:
         raise NotImplementedError
 
+    # Goal-arrival radius in meters (no annotation: a plain class constant,
+    # not a dataclass field).
+    DONE_RADIUS = 0.5
+
     def is_done(self, position: np.ndarray, goal: np.ndarray) -> bool:
         """Agent leaves the simulation once within 0.5 m of its goal."""
-        return bool(np.linalg.norm(position - goal) < 0.5)
+        return bool(np.linalg.norm(position - goal) < self.DONE_RADIUS)
+
+    def is_done_batch(self, positions: np.ndarray, goals: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_done` over ``[N, 2]`` positions/goals.
+
+        One broadcast norm replaces the per-agent Python loop the simulator
+        used to run every physics substep.  Subclasses overriding
+        :meth:`is_done` must override this to match (golden tests compare the
+        two paths bit for bit).
+        """
+        to_goal = goals - positions
+        return np.sqrt(to_goal[:, 0] ** 2 + to_goal[:, 1] ** 2) < self.DONE_RADIUS
 
     def reassign_goal(self, rng: np.random.Generator, position: np.ndarray) -> np.ndarray | None:
         """Optionally give a finished agent a new goal (None = despawn)."""
         return None
+
+    def reassign_goals(
+        self, rng: np.random.Generator, positions: np.ndarray
+    ) -> list[np.ndarray | None]:
+        """Batched goal reassignment for the agents flagged done.
+
+        Calls :meth:`reassign_goal` once per row **in row order** so the RNG
+        stream matches the seed per-agent loop exactly; only the done agents
+        reach this point (a handful per substep), so the loop is not a hot
+        path.
+        """
+        return [self.reassign_goal(rng, position) for position in positions]
 
 
 @dataclass
