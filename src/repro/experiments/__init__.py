@@ -1,7 +1,12 @@
 """``repro.experiments`` — harness regenerating every table and figure.
 
-See DESIGN.md §4 for the experiment index mapping each paper table/figure to
-its generator here and its benchmark target.
+The reproduction engine: :func:`run_experiment` is the atomic
+train-and-evaluate unit, :mod:`~repro.experiments.runner` executes declared
+:class:`RunSpec` grids serially or process-parallel (bit-identical either
+way), and :mod:`~repro.experiments.tables` / :mod:`~repro.experiments.figures`
+assemble the runs into every paper artifact.  ``docs/reproducing.md`` maps
+each table/figure to its generator here and its benchmark command;
+``docs/architecture.md`` §4 states the engine's invariants.
 """
 
 from repro.experiments.figures import (

@@ -131,6 +131,7 @@ class GridReport:
     warm_seconds: float = 0.0
 
     def meta(self) -> dict:
+        """The timing block persisted into ``results/<name>.json``."""
         return {
             "num_runs": len(self.results),
             "jobs": self.jobs,
@@ -186,5 +187,28 @@ def run_grid(
     jobs: int | None = 1,
     warm_cache: bool = True,
 ) -> list[RunResult]:
-    """Execute ``specs`` (serially or in parallel) and return ordered results."""
+    """Execute a declared grid and return its results in spec order.
+
+    Parameters
+    ----------
+    specs : the grid — one frozen :class:`RunSpec` per independent run.
+    jobs : ``1`` (default) runs serially in-process; ``N > 1`` uses a
+        :class:`~concurrent.futures.ProcessPoolExecutor` with ``N`` workers;
+        ``None``/``0`` means one worker per usable CPU (affinity-aware).
+    warm_cache : simulate every dataset the grid needs once, in the parent,
+        before forking, so workers hit the shared disk cache instead of
+        racing to regenerate the same domains.
+
+    Contract (gated by ``tests/experiments/test_runner.py`` and
+    ``benchmarks/bench_experiment_engine.py``): results are **bit-identical
+    for any jobs value** — every run's stochasticity derives from its spec,
+    never from scheduling — and come back in spec order regardless of
+    completion order.  Equality is asserted on
+    :meth:`~repro.experiments.harness.RunResult.signature`, which excludes
+    the wall-clock fields (``train_seconds``, ``inference_seconds``); keep
+    any new nondeterministic field out of ``signature()``.
+
+    Use :func:`run_grid_report` for the same execution plus wall-clock
+    accounting (the ``meta`` block the benchmark CLIs persist).
+    """
     return run_grid_report(specs, jobs=jobs, warm_cache=warm_cache).results

@@ -141,6 +141,7 @@ def load_checkpoint(path: str | os.PathLike) -> dict[str, np.ndarray]:
 def save_module(
     path: str | os.PathLike, module: Module, config: dict | None = None
 ) -> None:
+    """Write ``module``'s full state dict as a self-describing checkpoint."""
     save_checkpoint(path, module.state_dict(), config=config)
 
 

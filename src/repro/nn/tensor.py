@@ -18,12 +18,15 @@ Design notes
   Gradient buffers are owned, writable arrays accumulated **in place**
   (``+=``), and non-leaf buffers are released as soon as their backward
   closure has consumed them, so graph memory stays bounded per step.
-* ``no_grad`` switches graph recording off globally (used for inference,
-  Langevin sampling in LBEBM, and optimizer updates).
+* ``no_grad`` switches graph recording off for the current thread (used for
+  inference, Langevin sampling in LBEBM, and optimizer updates).  The flag
+  is thread-local so serving worker threads can run inference while a
+  training thread keeps recording.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable, Sequence
 from contextlib import contextmanager
 
@@ -45,7 +48,20 @@ __all__ = [
     "where",
 ]
 
-_GRAD_ENABLED = True
+class _GradState(threading.local):
+    """Per-thread graph-recording flag.
+
+    Thread-local (not a module global) so concurrent inference threads — the
+    async serving front-end runs model forwards on a worker pool — can enter
+    and leave :func:`no_grad` without racing each other's save/restore, and
+    without ever switching graph recording off under a training thread.
+    New threads start with recording enabled.
+    """
+
+    enabled = True
+
+
+_GRAD_STATE = _GradState()
 _DEFAULT_DTYPE = np.dtype(np.float64)
 _ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
@@ -82,32 +98,34 @@ def default_dtype(dtype):
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    """Return whether operations record the autograd graph *in this thread*."""
+    return _GRAD_STATE.enabled
 
 
 @contextmanager
 def no_grad():
-    """Context manager that disables graph recording (like ``torch.no_grad``)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph recording (like ``torch.no_grad``).
+
+    The flag is per-thread: disabling recording on a serving worker thread
+    never affects a training loop running concurrently on another thread.
+    """
+    previous = _GRAD_STATE.enabled
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 @contextmanager
 def enable_grad():
     """Force graph recording on, even inside ``no_grad`` (Langevin sampling)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = True
+    previous = _GRAD_STATE.enabled
+    _GRAD_STATE.enabled = True
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -159,7 +177,7 @@ class Tensor:
     ) -> None:
         self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_STATE.enabled
         self._parents = _parents if self.requires_grad else ()
         self._backward = _backward if self.requires_grad else None
         self.name = name
@@ -202,7 +220,7 @@ class Tensor:
         parents: tuple[Tensor, ...],
         backward: Callable[[np.ndarray], None],
     ) -> Tensor:
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_STATE.enabled and any(p.requires_grad for p in parents)
         # Op outputs keep the dtype numpy computed (which follows the
         # operands), rather than being recast to the global default — so a
         # float32 model stays float32 end to end.

@@ -1,14 +1,19 @@
 """``repro.serve`` — online trajectory-prediction serving.
 
-The inference-side counterpart to the training stack: a versioned
-:class:`ModelRegistry` of self-describing checkpoints, a uniform
-:class:`Predictor` interface over any method/backbone combination, a
-:class:`MicroBatcher` that coalesces concurrent single-agent requests into
-padded vectorized batches, :class:`StreamingWindows` for per-agent sliding
-observation windows over live point streams, and the composed
-:class:`ServingEngine`.
+The inference-side counterpart to the training stack, in two layers:
 
-Serving invariants (see ROADMAP.md):
+* **In-process** — a versioned :class:`ModelRegistry` of self-describing
+  checkpoints, a uniform :class:`Predictor` interface over any
+  method/backbone combination, a :class:`MicroBatcher` that coalesces
+  concurrent single-agent requests into padded vectorized batches,
+  :class:`StreamingWindows` for per-agent sliding observation windows over
+  live point streams, and the composed :class:`ServingEngine`.
+* **Network** — :class:`AsyncServingServer`, an asyncio TCP front-end
+  speaking a length-prefixed JSON protocol (:mod:`repro.serve.protocol`)
+  with admission control and externally-driven batching, plus the blocking
+  :class:`ServingClient`.
+
+Serving invariants (see ``docs/architecture.md`` and ``docs/serving.md``):
 
 * all prediction runs under :func:`repro.nn.inference_mode` — no autograd
   graphs, no gradient buffers, no dropout;
@@ -16,26 +21,45 @@ Serving invariants (see ROADMAP.md):
   and is bit-identical to the offline evaluation batch built from the same
   windows;
 * world-frame round trip (normalize on ingest, denormalize on emit) reuses
-  the ``repro.data`` conventions.
+  the ``repro.data`` conventions;
+* shutdown is idempotent and terminal — pending requests resolve with
+  :class:`ServingClosedError` (or a ``shutting_down`` response on the wire),
+  never by hanging;
+* served batches are replayable: per-flush RNG derivation plus the
+  ``batch_id``/``row`` response meta reproduce any served prediction through
+  the offline ``predict_samples`` path.
 """
 
 from repro.serve.batcher import (
+    FlushChunk,
     MicroBatcher,
     PendingPrediction,
     PredictRequest,
+    ServingClosedError,
     collate_requests,
 )
+from repro.serve.client import ServingClient
 from repro.serve.engine import ServingEngine
 from repro.serve.predictor import Predictor
+from repro.serve.protocol import ProtocolError, RemoteServingError
 from repro.serve.registry import ModelRegistry
+from repro.serve.server import AsyncServingServer, OverloadedError, ServerThread
 from repro.serve.streaming import StreamingWindows
 
 __all__ = [
+    "AsyncServingServer",
+    "FlushChunk",
     "MicroBatcher",
     "ModelRegistry",
+    "OverloadedError",
     "PendingPrediction",
     "PredictRequest",
     "Predictor",
+    "ProtocolError",
+    "RemoteServingError",
+    "ServerThread",
+    "ServingClient",
+    "ServingClosedError",
     "ServingEngine",
     "StreamingWindows",
     "collate_requests",

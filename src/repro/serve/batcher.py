@@ -17,6 +17,14 @@ bit-for-bit — origin translation to the focal agent's last observed position,
 zero-padded neighbour slots with a boolean mask, nearest-first truncation —
 so a coalesced serving batch is numerically identical to the offline
 evaluation batch built from the same windows.
+
+The batcher also supports **externally-driven flushes** for the async
+network front-end (:mod:`repro.serve.server`): with ``auto_flush=False`` an
+event-loop scheduler pops due work with :meth:`MicroBatcher.take_ready` and
+executes it on a worker thread with :meth:`MicroBatcher.run_chunk`, and
+:meth:`MicroBatcher.shutdown` terminates every pending request with a
+:class:`ServingClosedError` instead of leaving pollers hanging.  See
+``docs/serving.md`` for the full batching and backpressure semantics.
 """
 
 from __future__ import annotations
@@ -32,7 +40,24 @@ from repro.data.dataset import PRED_LEN, Batch, collate_windows
 from repro.serve.predictor import Predictor
 from repro.utils.seeding import new_rng
 
-__all__ = ["MicroBatcher", "PendingPrediction", "PredictRequest", "collate_requests"]
+__all__ = [
+    "FlushChunk",
+    "MicroBatcher",
+    "PendingPrediction",
+    "PredictRequest",
+    "ServingClosedError",
+    "collate_requests",
+]
+
+
+class ServingClosedError(RuntimeError):
+    """Raised by submissions to — and pending results of — a shut-down batcher.
+
+    This is the *terminal* error shutdown delivers: every request still
+    pending when :meth:`MicroBatcher.shutdown` runs has this error set on its
+    handle, so pollers observe ``done`` and fail fast instead of hanging on a
+    flush that will never happen.
+    """
 
 
 @dataclass
@@ -77,21 +102,64 @@ class PredictRequest:
 
 
 class PendingPrediction:
-    """Future-like handle returned by :meth:`MicroBatcher.submit`."""
+    """Future-like handle returned by :meth:`MicroBatcher.submit`.
 
-    __slots__ = ("request", "enqueued_at", "_samples")
+    A handle resolves exactly once, either with world-frame samples
+    (:meth:`result`) or with a terminal error (``error``) — e.g. a failed
+    externally-driven flush, or batcher shutdown.  ``done`` is True in both
+    cases, so pollers never hang on a request that can no longer complete.
+    """
+
+    __slots__ = (
+        "request",
+        "enqueued_at",
+        "_samples",
+        "_error",
+        "batch_id",
+        "batch_row",
+        "batch_size",
+    )
 
     def __init__(self, request: PredictRequest, enqueued_at: float) -> None:
         self.request = request
         self.enqueued_at = enqueued_at
         self._samples: np.ndarray | None = None
+        self._error: BaseException | None = None
+        #: Which flush served this request (set at fulfilment): the flush's
+        #: batch id, this request's row in the collated batch, and the batch
+        #: size.  Together with the batcher's ``seed_per_flush`` these make a
+        #: served result replayable offline.
+        self.batch_id: int | None = None
+        self.batch_row: int | None = None
+        self.batch_size: int | None = None
 
     @property
     def done(self) -> bool:
-        return self._samples is not None
+        """True once the handle holds either samples or a terminal error."""
+        return self._samples is not None or self._error is not None
+
+    @property
+    def error(self) -> BaseException | None:
+        """The terminal error, or None (still pending / completed fine)."""
+        return self._error
+
+    def _set_result(self, samples: np.ndarray) -> None:
+        if not self.done:
+            self._samples = samples
+
+    def _set_error(self, error: BaseException) -> None:
+        if not self.done:
+            self._error = error
 
     def result(self) -> np.ndarray:
-        """World-frame futures ``[K, pred_len, 2]`` once the batch has run."""
+        """World-frame futures ``[K, pred_len, 2]`` once the batch has run.
+
+        Raises the terminal error if the request failed (flush exception,
+        shutdown), or ``RuntimeError`` while it is still waiting to be
+        coalesced.
+        """
+        if self._error is not None:
+            raise self._error
         if self._samples is None:
             raise RuntimeError(
                 "prediction not ready; the request is still waiting to be "
@@ -124,19 +192,58 @@ def collate_requests(
     )
 
 
+@dataclass
+class FlushChunk:
+    """One popped batch of pending requests, ready for an external flush.
+
+    ``batch_id`` is assigned under the batcher lock, in pop order, and is the
+    key of the per-flush RNG derivation when ``seed_per_flush`` is set — so a
+    served batch can be replayed offline from ``(seed, batch_id)`` plus its
+    request payloads alone, regardless of which worker thread ran it when.
+    """
+
+    batch_id: int
+    handles: list[PendingPrediction] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.handles)
+
+
 class MicroBatcher:
     """Coalesce concurrent prediction requests into padded model batches.
+
+    Two flush modes share the same queue and collation path:
+
+    * **caller-driven** (the default, ``auto_flush=True``): ``submit`` flushes
+      inline the moment a full batch is pending, and ``poll``/``flush`` run
+      partial batches on the calling thread — the synchronous in-process mode
+      :class:`~repro.serve.engine.ServingEngine` uses.
+    * **externally-driven** (``auto_flush=False``): ``submit`` only queues;
+      an external scheduler (the async serving front-end's flush loop) pops
+      work with :meth:`take_ready` and executes it with :meth:`run_chunk` on
+      a worker thread, keeping model forwards off the event loop.
 
     Parameters
     ----------
     predictor : the :class:`~repro.serve.predictor.Predictor` to run.
-    num_samples : futures sampled per request (best-of-K serving).
+    num_samples : futures sampled per request (best-of-K serving).  Fixed per
+        batcher, not per request — every row of a coalesced batch shares one
+        ``[K, B, ...]`` forward.
     max_batch_size : flush as soon as this many requests are pending.
-    max_wait : seconds a request may wait before ``poll`` flushes a partial
-        batch; ``0`` means every ``poll`` flushes whatever is pending.
+    max_wait : seconds a request may wait before ``poll``/``take_ready``
+        releases a partial batch; ``0`` means partial batches are released
+        whenever asked (lowest latency, coalescing only under backpressure).
     max_neighbours : cap on padded neighbour slots (None = batch maximum).
     rng : seed or generator for the sampling noise (one stream across
         flushes, so a fixed seed makes a serving session reproducible).
+    seed_per_flush : when set, each flush ``i`` draws its noise from a fresh
+        ``default_rng((seed_per_flush, i))`` instead of the shared stream.
+        This makes every served batch independently replayable — the
+        equivalence gate in ``benchmarks/bench_server.py`` recomputes served
+        batches offline from ``(seed, batch_id)`` — and safe to execute out
+        of order across worker threads.
+    auto_flush : disable to run the batcher in externally-driven mode.
     clock : monotonic time source; injectable for tests.
     """
 
@@ -148,6 +255,8 @@ class MicroBatcher:
         max_wait: float = 0.0,
         max_neighbours: int | None = None,
         rng: np.random.Generator | int | None = 0,
+        seed_per_flush: int | None = None,
+        auto_flush: bool = True,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch_size < 1:
@@ -162,22 +271,34 @@ class MicroBatcher:
         self.max_wait = max_wait
         self.max_neighbours = max_neighbours
         self.rng = new_rng(rng)
+        self.seed_per_flush = seed_per_flush
+        self.auto_flush = auto_flush
         self.clock = clock
         self._lock = threading.Lock()
         self._pending: list[PendingPrediction] = []
+        self._closed = False
+        self._next_batch_id = 0
         # Observability counters.
         self.total_requests = 0
         self.total_batches = 0
+        self.total_completed = 0
+        self.total_failed = 0
 
     # ------------------------------------------------------------------
     @property
     def pending_count(self) -> int:
+        """Requests queued and not yet popped into a flush (queue depth)."""
         return len(self._pending)
 
     @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has run; submissions are rejected."""
+        return self._closed
+
+    @property
     def mean_batch_size(self) -> float:
-        done = self.total_requests - len(self._pending)
-        return done / self.total_batches if self.total_batches else 0.0
+        """Completed requests per executed batch (coalescing effectiveness)."""
+        return self.total_completed / self.total_batches if self.total_batches else 0.0
 
     # ------------------------------------------------------------------
     def submit(self, request: PredictRequest) -> PendingPrediction:
@@ -185,7 +306,9 @@ class MicroBatcher:
 
         Window length is validated here, against the predictor, so a
         malformed request fails in its own caller instead of poisoning the
-        batch it would later be coalesced into.
+        batch it would later be coalesced into.  In externally-driven mode
+        (``auto_flush=False``) the request is only queued; the scheduler pops
+        it via :meth:`take_ready`.
         """
         expected = getattr(self.predictor, "obs_len", None)
         if expected is not None and request.obs.shape[0] != expected:
@@ -194,10 +317,12 @@ class MicroBatcher:
                 f"{request.obs.shape[0]}, predictor expects {expected}"
             )
         with self._lock:
+            if self._closed:
+                raise ServingClosedError("batcher is shut down; request rejected")
             handle = PendingPrediction(request, self.clock())
             self._pending.append(handle)
             self.total_requests += 1
-            if len(self._pending) >= self.max_batch_size:
+            if self.auto_flush and len(self._pending) >= self.max_batch_size:
                 self._flush_locked(self.max_batch_size)
         return handle
 
@@ -220,25 +345,130 @@ class MicroBatcher:
             return completed
 
     # ------------------------------------------------------------------
-    def _flush_locked(self, limit: int) -> list[PendingPrediction]:
-        chunk, self._pending = self._pending[:limit], self._pending[limit:]
-        if not chunk:
+    # Externally-driven flushes (async front-end)
+    # ------------------------------------------------------------------
+    def take_ready(
+        self,
+        now: float | None = None,
+        *,
+        allow_partial: bool = True,
+        force: bool = False,
+    ) -> list[FlushChunk]:
+        """Pop due work as :class:`FlushChunk` s without running it.
+
+        Always pops every *full* ``max_batch_size`` chunk.  The remainder is
+        popped too when ``force`` is set, or when ``allow_partial`` and the
+        oldest remaining request has waited ``max_wait`` (with
+        ``max_wait=0``: always).  The async server passes
+        ``allow_partial=False`` while a flush for this model is already in
+        progress, so backpressure converts queued singles into one coalesced
+        batch instead of a convoy of tiny ones.
+        """
+        with self._lock:
+            chunks: list[FlushChunk] = []
+            while len(self._pending) >= self.max_batch_size:
+                chunks.append(self._pop_chunk_locked(self.max_batch_size))
+            if self._pending and (force or allow_partial):
+                now = self.clock() if now is None else now
+                waited = now - self._pending[0].enqueued_at
+                if force or waited >= self.max_wait:
+                    chunks.append(self._pop_chunk_locked(len(self._pending)))
+            return chunks
+
+    def run_chunk(self, chunk: FlushChunk) -> list[PendingPrediction]:
+        """Execute one popped chunk: collate, predict, fulfil its handles.
+
+        Runs without the queue lock (the chunk is owned by the caller), so it
+        is safe to call from a worker thread while the event loop keeps
+        accepting submissions.  On failure every handle in the chunk gets the
+        exception as its *terminal* error — externally-driven flushes never
+        requeue, a poisoned batch must not retry forever — and the exception
+        propagates so the scheduler can log it.
+        """
+        if not chunk.handles:
             return []
         try:
-            batch = collate_requests(
-                [handle.request for handle in chunk],
-                pred_len=self.predictor.pred_len,
-                max_neighbours=self.max_neighbours,
-            )
-            # One padded batch through the vectorized hot path — never a
-            # Python loop over requests.
-            samples = self.predictor.predict_world(batch, self.num_samples, self.rng)
+            samples = self._predict([h.request for h in chunk.handles], chunk.batch_id)
+        except BaseException as error:
+            for handle in chunk.handles:
+                handle._set_error(error)
+            with self._lock:
+                self.total_failed += len(chunk.handles)
+            raise
+        for row, handle in enumerate(chunk.handles):
+            handle.batch_id = chunk.batch_id
+            handle.batch_row = row
+            handle.batch_size = len(chunk.handles)
+            handle._set_result(samples[:, row])
+        with self._lock:
+            self.total_batches += 1
+            self.total_completed += len(chunk.handles)
+        return chunk.handles
+
+    def shutdown(self, reason: str = "serving shut down") -> int:
+        """Terminate the batcher; idempotent and exception-safe.
+
+        Every still-pending request gets a terminal
+        :class:`ServingClosedError` set on its handle (pollers see ``done``
+        and fail fast instead of hanging), and later ``submit`` calls raise.
+        Returns the number of requests that were failed; a second call is a
+        no-op returning 0.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            self._closed = True
+            orphaned, self._pending = self._pending, []
+        error = ServingClosedError(reason)
+        for handle in orphaned:
+            handle._set_error(error)
+        with self._lock:
+            self.total_failed += len(orphaned)
+        return len(orphaned)
+
+    # ------------------------------------------------------------------
+    def _pop_chunk_locked(self, limit: int) -> FlushChunk:
+        handles, self._pending = self._pending[:limit], self._pending[limit:]
+        chunk = FlushChunk(batch_id=self._next_batch_id, handles=handles)
+        self._next_batch_id += 1
+        return chunk
+
+    def _flush_rng(self, batch_id: int) -> np.random.Generator:
+        """The noise stream for one flush: shared, or derived per batch."""
+        if self.seed_per_flush is None:
+            return self.rng
+        return np.random.default_rng((self.seed_per_flush, batch_id))
+
+    def _predict(self, requests: list[PredictRequest], batch_id: int) -> np.ndarray:
+        batch = collate_requests(
+            requests,
+            pred_len=self.predictor.pred_len,
+            max_neighbours=self.max_neighbours,
+        )
+        # One padded batch through the vectorized hot path — never a
+        # Python loop over requests.
+        return self.predictor.predict_world(
+            batch, self.num_samples, self._flush_rng(batch_id)
+        )
+
+    def _flush_locked(self, limit: int) -> list[PendingPrediction]:
+        if not self._pending:
+            return []
+        chunk = self._pop_chunk_locked(limit)
+        try:
+            samples = self._predict([h.request for h in chunk.handles], chunk.batch_id)
         except BaseException:
             # Don't lose the coalesced requests on a failed flush: put them
             # back at the head of the queue so a later poll/flush retries.
-            self._pending[:0] = chunk
+            # (The popped batch_id is consumed either way — per-flush RNG
+            # derivation never reuses a stream.)
+            self._pending[:0] = chunk.handles
             raise
-        for row, handle in enumerate(chunk):
-            handle._samples = samples[:, row]
+        for row, handle in enumerate(chunk.handles):
+            handle.batch_id = chunk.batch_id
+            handle.batch_row = row
+            handle.batch_size = len(chunk.handles)
+            handle._set_result(samples[:, row])
         self.total_batches += 1
-        return chunk
+        self.total_completed += len(chunk.handles)
+        return chunk.handles

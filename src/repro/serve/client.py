@@ -1,0 +1,149 @@
+"""Synchronous client for the network serving front-end.
+
+:class:`ServingClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.serve.protocol` over a plain blocking socket — the shape most
+consumers (tests, the ``bench_server`` load generator, batch jobs, the demo)
+want.  One call = one request frame + one response frame; failed responses
+raise :class:`~repro.serve.protocol.RemoteServingError` carrying the typed
+error code (``overloaded``, ``shutting_down``, ...), so callers can
+implement retry/backoff against admission control.
+
+>>> with ServingClient.connect(host, port) as client:
+...     client.health()["status"]
+...     result = client.predict("adaptraj", obs)   # [K, pred_len, 2]
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError, RemoteServingError
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """Blocking request/response client over one TCP connection.
+
+    Not thread-safe: a client instance owns its socket and its correlation-id
+    counter.  Concurrent load generators open one client per thread (which is
+    also what exercises the server's cross-connection batching).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, timeout: float | None = 30.0
+    ) -> ServingClient:
+        """Open a connection to a running :class:`AsyncServingServer`."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> ServingClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Core round trip
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields) -> dict:
+        """One request/response round trip; returns the ``result`` object.
+
+        Raises :class:`RemoteServingError` for ``ok: false`` responses and
+        :class:`ProtocolError` if the stream framing breaks.
+        """
+        self._next_id += 1
+        req_id = self._next_id
+        protocol.write_frame_sync(self._sock, protocol.request(op, req_id, **fields))
+        response = protocol.read_frame_sync(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection before responding")
+        if response.get("id") != req_id:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {req_id} (this client is strictly request/response)"
+            )
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        raise RemoteServingError(
+            error.get("code", protocol.E_INTERNAL),
+            error.get("message", "unknown server error"),
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Server liveness: status, protocol version, model names, uptime."""
+        return self.call("health")
+
+    def stats(self) -> dict:
+        """Server and per-model counters (queue depth, latency, overloads)."""
+        return self.call("stats")
+
+    def observe(self, model: str, frame: int, positions: dict) -> dict:
+        """Feed one frame of ``{agent_id: (x, y)}`` into this connection's
+        private streaming windows for ``model``."""
+        return self.call(
+            "observe",
+            model=model,
+            frame=int(frame),
+            positions={
+                str(agent_id): [float(xy[0]), float(xy[1])]
+                for agent_id, xy in positions.items()
+            },
+        )
+
+    def predict(
+        self,
+        model: str,
+        obs,
+        neighbours=None,
+        domain_id: int = 0,
+        return_meta: bool = False,
+    ):
+        """Predict one explicit ``[obs_len, 2]`` window (world coordinates).
+
+        Returns the sampled futures as a ``[K, pred_len, 2]`` array, or
+        ``(samples, meta)`` when ``return_meta`` is set — ``meta`` carries
+        the server-side ``batch_id`` / ``row`` / ``batch_size`` this request
+        was coalesced into (the replay hook of the equivalence gate).
+        """
+        fields: dict = {"model": model, "obs": np.asarray(obs).tolist()}
+        if neighbours is not None and len(neighbours):
+            fields["neighbours"] = np.asarray(neighbours).tolist()
+        if domain_id:
+            fields["domain_id"] = int(domain_id)
+        result = self.call("predict", **fields)
+        samples = np.asarray(result["samples"], dtype=np.float64)
+        return (samples, result["meta"]) if return_meta else samples
+
+    def predict_frame(self, model: str, frame: int, return_meta: bool = False) -> dict:
+        """Predict every agent whose observed window is ready at ``frame``.
+
+        Returns ``{agent_id: samples}`` (ids are strings on the wire), or
+        ``{agent_id: (samples, meta)}`` with ``return_meta``.
+        """
+        result = self.call("predict", model=model, frame=int(frame))
+        agents = {}
+        for agent_id, payload in result["agents"].items():
+            samples = np.asarray(payload["samples"], dtype=np.float64)
+            agents[agent_id] = (samples, payload["meta"]) if return_meta else samples
+        return agents
+
+    def flush(self, model: str) -> int:
+        """Force the server to flush ``model``'s pending partial batches."""
+        return int(self.call("flush", model=model)["flushed"])

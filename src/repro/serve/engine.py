@@ -62,9 +62,11 @@ class ServingEngine:
         self.windows.push(agent_id, frame, x, y)
 
     def ingest_frame(self, frame: int, positions: Mapping[object, tuple[float, float]]) -> None:
+        """Feed one frame's worth of points, ``{agent_id: (x, y)}``."""
         self.windows.push_frame(frame, positions)
 
     def evict(self, agent_id) -> None:
+        """Forget an agent's window (despawn)."""
         self.windows.evict(agent_id)
 
     # ------------------------------------------------------------------
@@ -88,3 +90,28 @@ class ServingEngine:
         handles = self.submit_ready(frame)
         self.batcher.flush()
         return {h.request.request_id[0]: h.result() for h in handles}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has run."""
+        return self.batcher.closed
+
+    def shutdown(self, reason: str = "serving engine shut down") -> int:
+        """Stop the engine; idempotent, never hangs a waiting consumer.
+
+        Pending (submitted but unflushed) predictions receive a terminal
+        :class:`~repro.serve.batcher.ServingClosedError` through their
+        handles, streaming state is dropped, and any later prediction
+        submission raises the same error.  Returns the number of requests
+        that were failed; repeated calls are no-ops returning 0.
+        """
+        failed = self.batcher.shutdown(reason)
+        # Streaming windows hold no waiters; dropping them frees the buffers
+        # and makes post-shutdown ingest a cheap no-op state rebuild.
+        self.windows = StreamingWindows(
+            obs_len=self.predictor.obs_len, max_neighbours=self.windows.max_neighbours
+        )
+        return failed

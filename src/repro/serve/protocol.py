@@ -1,0 +1,247 @@
+"""Wire protocol for the network serving front-end: length-prefixed JSON.
+
+Framing
+-------
+Every message — request or response, either direction — is one *frame*:
+
+.. code-block:: text
+
+    +----------------+---------------------------+
+    | 4 bytes        | <length> bytes            |
+    | big-endian u32 | UTF-8 JSON object         |
+    +----------------+---------------------------+
+
+The length covers the JSON payload only (not the header).  Frames larger
+than :data:`MAX_FRAME_BYTES` are rejected on both ends — a corrupt or
+malicious length prefix must not make a peer allocate unbounded memory.
+
+Messages
+--------
+Requests carry a protocol version, a caller-chosen correlation id, and an
+operation name::
+
+    {"v": 1, "id": 7, "op": "predict", "model": "adaptraj", "obs": [[x, y], ...]}
+
+Responses echo the id and report success or a typed error::
+
+    {"v": 1, "id": 7, "ok": true,  "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "error": {"code": "overloaded", "message": "..."}}
+
+The full schema of every operation (``observe`` / ``predict`` / ``flush`` /
+``stats`` / ``health``), the error-code table, and the backpressure
+semantics are specified in ``docs/serving.md``; this module is the single
+point of truth for the byte-level encoding both
+:class:`~repro.serve.server.AsyncServingServer` and
+:class:`~repro.serve.client.ServingClient` use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPERATIONS",
+    "PROTOCOL_VERSION",
+    "E_BAD_REQUEST",
+    "E_INTERNAL",
+    "E_OVERLOADED",
+    "E_SHUTTING_DOWN",
+    "E_UNKNOWN_MODEL",
+    "E_UNKNOWN_OP",
+    "E_UNSUPPORTED_VERSION",
+    "ProtocolError",
+    "RemoteServingError",
+    "decode_payload",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "read_frame_sync",
+    "request",
+    "validate_request",
+    "write_frame",
+    "write_frame_sync",
+]
+
+#: Version of the request/response schema.  Bump on incompatible changes;
+#: the server rejects mismatched requests with ``unsupported_version``.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a single frame's JSON payload (requests and responses).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Operations the protocol defines (the server may still not accept all of
+#: them for a given model — see docs/serving.md).
+OPERATIONS = ("observe", "predict", "flush", "stats", "health")
+
+_HEADER = struct.Struct(">I")
+
+# Error codes (the ``error.code`` field of a failed response).
+E_BAD_REQUEST = "bad_request"  #: malformed frame / missing or invalid fields
+E_UNSUPPORTED_VERSION = "unsupported_version"  #: protocol version mismatch
+E_UNKNOWN_OP = "unknown_op"  #: ``op`` not in :data:`OPERATIONS`
+E_UNKNOWN_MODEL = "unknown_model"  #: ``model`` not registered on the server
+E_OVERLOADED = "overloaded"  #: admission control rejected the request
+E_SHUTTING_DOWN = "shutting_down"  #: server terminated the request mid-flight
+E_INTERNAL = "internal"  #: unexpected server-side failure
+
+
+class ProtocolError(Exception):
+    """A violation of the wire protocol (framing or message schema).
+
+    ``code`` is the error code the peer should be answered with (when a
+    response is still possible — a corrupt *frame* ends the connection
+    instead, since the stream can no longer be trusted).
+    """
+
+    def __init__(self, message: str, code: str = E_BAD_REQUEST) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class RemoteServingError(RuntimeError):
+    """Client-side mirror of a failed response (``ok: false``)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to ``header + UTF-8 JSON`` bytes."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame's JSON payload; the top level must be an object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:  # clean EOF between frames
+            return None
+        raise ProtocolError("connection closed mid-header") from error
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+    return decode_payload(payload)
+
+
+def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Queue one frame on an asyncio stream (caller awaits ``drain``)."""
+    writer.write(encode_frame(message))
+
+
+def _recv_exactly(sock: socket.socket, length: int) -> bytes | None:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == length and not chunks:
+                return None  # clean EOF on a frame boundary
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(sock: socket.socket) -> dict | None:
+    """Blocking counterpart of :func:`read_frame` for the sync client."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    payload = _recv_exactly(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_payload(payload)
+
+
+def write_frame_sync(sock: socket.socket, message: dict) -> None:
+    """Blocking send of one frame."""
+    sock.sendall(encode_frame(message))
+
+
+# ----------------------------------------------------------------------
+# Message construction / validation
+# ----------------------------------------------------------------------
+def request(op: str, req_id: int, **fields) -> dict:
+    """Build a versioned request message."""
+    return {"v": PROTOCOL_VERSION, "id": req_id, "op": op, **fields}
+
+
+def ok_response(req_id, result: dict) -> dict:
+    """Build a success response echoing ``req_id``."""
+    return {"v": PROTOCOL_VERSION, "id": req_id, "ok": True, "result": result}
+
+
+def error_response(req_id, code: str, message: str) -> dict:
+    """Build a failure response with a typed error code."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": req_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def validate_request(message: dict) -> tuple[str, object]:
+    """Check version/id/op of an incoming request; returns ``(op, id)``.
+
+    Raises :class:`ProtocolError` carrying the error code to answer with.
+    The id is validated first so even version errors can be correlated.
+    """
+    req_id = message.get("id")
+    if req_id is None or isinstance(req_id, (dict, list, bool)):
+        raise ProtocolError("request has no usable 'id' field", E_BAD_REQUEST)
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version!r} not supported (server speaks "
+            f"{PROTOCOL_VERSION})",
+            E_UNSUPPORTED_VERSION,
+        )
+    op = message.get("op")
+    if not isinstance(op, str) or op not in OPERATIONS:
+        raise ProtocolError(
+            f"unknown operation {op!r} (expected one of {', '.join(OPERATIONS)})",
+            E_UNKNOWN_OP,
+        )
+    return op, req_id

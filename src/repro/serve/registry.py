@@ -155,7 +155,32 @@ class ModelRegistry:
         version: int | None = None,
         dtype_policy: str = "module",
     ) -> Predictor:
-        """Load a version behind the uniform :class:`Predictor` interface."""
+        """Load a version behind the uniform :class:`Predictor` interface.
+
+        Parameters
+        ----------
+        name : registered model name.
+        version : version to load; ``None`` loads the latest published one.
+        dtype_policy : how a checkpoint/process dtype mismatch resolves —
+            the contract of :func:`repro.nn.serialization.load_module`:
+
+            * ``"module"`` (default) — keep the dtype this serving process
+              was configured with (``repro.nn.set_default_dtype``) and
+              convert the checkpoint arrays on the way in; a float64
+              training checkpoint loads cleanly into a float32 stack.
+            * ``"checkpoint"`` — convert the rebuilt model to the
+              checkpoint's dtype first, then load exactly.
+            * ``"strict"`` — raise on any mismatch.
+
+            There is deliberately no silent mixing: every loaded model has
+            one dtype end to end, chosen by an explicit policy.
+
+        The checkpoint is self-describing (method/backbone spec + extra
+        state embedded at :meth:`publish` time), so no out-of-band
+        configuration is needed — any method/backbone combination rebuilds
+        from the archive alone.  Raises :class:`KeyError` for unknown
+        names/versions and :class:`ValueError` for spec-less archives.
+        """
         version = self.latest_version(name) if version is None else int(version)
         method = self.load_method(name, version, dtype_policy=dtype_policy)
         return Predictor(method, name=name, version=version)

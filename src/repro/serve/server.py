@@ -1,0 +1,807 @@
+"""Async network front-end: concurrent TCP serving over the micro-batcher.
+
+:class:`AsyncServingServer` turns the in-process serving stack into a
+network service.  One asyncio event loop owns all connection and scheduling
+state; model forwards never run on it:
+
+* **Framing/schema** — length-prefixed JSON (:mod:`repro.serve.protocol`)
+  with ``observe`` / ``predict`` / ``flush`` / ``stats`` / ``health``
+  operations.
+* **Batching** — each model gets a :class:`~repro.serve.batcher.MicroBatcher`
+  in externally-driven mode: requests from all connections coalesce in one
+  queue, a background flush loop (plus a drain after every submit) pops due
+  work with ``take_ready`` and executes it via ``run_chunk`` on a bounded
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  While a model is mid
+  flush, partial batches are withheld, so backpressure turns a convoy of
+  single requests into genuinely coalesced batches (adaptive batching).
+* **Admission control** — a configurable cap on in-flight predictions; work
+  beyond it is fast-failed with an ``overloaded`` response instead of being
+  queued without bound.  Queue depth, in-flight peaks, and per-model latency
+  are surfaced through ``stats``.
+* **Isolation** — streaming windows (``observe``) are **per connection**, so
+  two clients using the same agent ids can never contaminate each other's
+  observation histories.
+* **Replayability** — every flush draws its sampling noise from
+  ``default_rng((seed, batch_id))``; together with the ``batch_id``/``row``
+  meta on each response, any served batch can be recomposed and checked
+  against the offline ``predict_samples`` path (this is the
+  ``benchmarks/bench_server.py`` equivalence gate).
+
+Run a registry-backed server from the command line::
+
+    PYTHONPATH=src python -m repro.serve.server --registry models/ \
+        --model adaptraj-pecnet --port 8707
+
+or embed it (tests, benchmarks, demos) with :class:`ServerThread`, which
+hosts the event loop on a daemon thread behind a blocking start/stop API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.batcher import (
+    FlushChunk,
+    MicroBatcher,
+    PendingPrediction,
+    PredictRequest,
+    ServingClosedError,
+)
+from repro.serve.predictor import Predictor
+from repro.serve.protocol import ProtocolError
+from repro.serve.streaming import StreamingWindows
+
+__all__ = ["AsyncServingServer", "OverloadedError", "ServerThread"]
+
+
+class OverloadedError(RuntimeError):
+    """Raised when admission control rejects work (answered as ``overloaded``)."""
+
+
+def _require(message: dict, key: str, types: tuple[type, ...], what: str):
+    value = message.get(key)
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} must be {what}", protocol.E_BAD_REQUEST)
+    return value
+
+
+def _parse_array(value, shape_desc: str, ndim: int) -> np.ndarray:
+    try:
+        array = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"expected a numeric {shape_desc} array: {error}", protocol.E_BAD_REQUEST
+        ) from error
+    if array.ndim != ndim:
+        raise ProtocolError(
+            f"expected a {shape_desc} array, got shape {array.shape}",
+            protocol.E_BAD_REQUEST,
+        )
+    return array
+
+
+class _ModelWorker:
+    """Per-model scheduling state: batcher, flush serialization, futures.
+
+    Lives entirely on the event loop except for :meth:`MicroBatcher.run_chunk`,
+    which executes on the server's thread pool.  ``_flush_lock`` serializes
+    flushes *per model* — module training-flag save/restore inside
+    ``inference_mode`` is per-module state, so two threads must never run the
+    same model tree concurrently; different models flush in parallel.
+    """
+
+    def __init__(self, server: AsyncServingServer, name: str, batcher: MicroBatcher) -> None:
+        self.server = server
+        self.name = name
+        self.batcher = batcher
+        self._flush_lock = asyncio.Lock()
+        # Chunks popped and scheduled but not yet finished.  This — not the
+        # lock — is the "model busy" signal for adaptive batching: a task
+        # that is created but has not yet acquired the lock must already
+        # count as busy, or a burst of submits pops a convoy of singles.
+        self._active_chunks = 0
+        self._waiters: dict[PendingPrediction, tuple[asyncio.Future, float]] = {}
+        # Latency accounting (submit -> resolve, event-loop clock).
+        self.completed = 0
+        self.latency_sum = 0.0
+        self.latency_max = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: PredictRequest) -> asyncio.Future:
+        """Queue one request; returns a future resolving to its handle."""
+        handle = self.batcher.submit(request)  # raises when closed/invalid
+        future = self.server._loop.create_future()
+        self._waiters[handle] = (future, self.server._loop.time())
+        self.server._note_inflight(+1)
+        self.drain()
+        return future
+
+    def drain(self) -> None:
+        """Pop due work and schedule it on the worker pool.
+
+        Full batches always pop.  Partial batches pop only while no flush of
+        this model is scheduled or running — under load the backlog
+        accumulates behind the busy model and pops as one coalesced batch
+        when it frees up (adaptive batching).
+        """
+        if self.batcher.closed:
+            return
+        self._schedule(
+            self.batcher.take_ready(allow_partial=self._active_chunks == 0)
+        )
+
+    def flush_now(self) -> int:
+        """Force-pop everything pending (the ``flush`` operation)."""
+        if self.batcher.closed:
+            return 0
+        chunks = self.batcher.take_ready(force=True)
+        self._schedule(chunks)
+        return sum(chunk.size for chunk in chunks)
+
+    def _schedule(self, chunks: list[FlushChunk]) -> None:
+        for chunk in chunks:
+            self._active_chunks += 1
+            self.server._track_task(
+                self.server._loop.create_task(self._run_chunk(chunk))
+            )
+
+    async def _run_chunk(self, chunk: FlushChunk) -> None:
+        try:
+            async with self._flush_lock:
+                try:
+                    await self.server._loop.run_in_executor(
+                        self.server._executor, self.batcher.run_chunk, chunk
+                    )
+                except Exception:
+                    pass  # terminal errors already set on the handles
+        finally:
+            self._active_chunks -= 1
+            for handle in chunk.handles:
+                self._resolve(handle)
+            # A flush just finished: anything that queued behind it may now
+            # be popped (as one coalesced batch).
+            self.drain()
+
+    def _resolve(self, handle: PendingPrediction) -> None:
+        entry = self._waiters.pop(handle, None)
+        if entry is None:
+            return
+        future, submitted_at = entry
+        if not future.done():
+            future.set_result(handle)
+        self.server._note_inflight(-1)
+        if handle.error is None:
+            latency = self.server._loop.time() - submitted_at
+            self.completed += 1
+            self.latency_sum += latency
+            self.latency_max = max(self.latency_max, latency)
+
+    def resolve_terminal(self) -> None:
+        """Resolve every waiter whose handle already carries a terminal state.
+
+        Called during shutdown after ``batcher.shutdown()`` failed the queued
+        requests, so no predict handler is left awaiting a future that nobody
+        will ever complete.
+        """
+        for handle in list(self._waiters):
+            if not handle.done:
+                handle._set_error(ServingClosedError("server stopped"))
+            self._resolve(handle)
+
+    def stats(self) -> dict:
+        batcher = self.batcher
+        return {
+            "pending": batcher.pending_count,
+            "total_requests": batcher.total_requests,
+            "total_batches": batcher.total_batches,
+            "total_completed": batcher.total_completed,
+            "total_failed": batcher.total_failed,
+            "mean_batch_size": round(batcher.mean_batch_size, 3),
+            "max_batch_size": batcher.max_batch_size,
+            "num_samples": batcher.num_samples,
+            "latency": {
+                "count": self.completed,
+                "mean_s": round(self.latency_sum / self.completed, 6)
+                if self.completed
+                else 0.0,
+                "max_s": round(self.latency_max, 6),
+            },
+        }
+
+
+@dataclass(eq=False)  # identity hashing: connections live in a set
+class _Connection:
+    """Per-client state: its writer, its tasks, its private streaming windows."""
+
+    conn_id: int
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    windows: dict[str, StreamingWindows] = field(default_factory=dict)
+    tasks: set = field(default_factory=set)
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+    async def send(self, message: dict) -> None:
+        async with self.write_lock:
+            try:
+                protocol.write_frame(self.writer, message)
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # client went away; its in-flight work still resolves
+
+
+class AsyncServingServer:
+    """Asyncio TCP server exposing registered predictors over the wire.
+
+    Parameters
+    ----------
+    host, port : bind address; port 0 picks a free port (see ``address``
+        after :meth:`start`).
+    max_in_flight : admission-control cap on predictions that have been
+        accepted but not yet answered, across all models and connections.
+        Work beyond the cap is fast-failed with ``overloaded``.
+    workers : size of the thread pool running model forwards.  Forwards for
+        one model are serialized (module state is not thread-safe to share);
+        extra workers buy overlap across *different* models.
+    flush_interval : period of the background flush loop that releases
+        partial batches once their ``max_wait`` expires (the max-wait timer
+        lives here, not with the caller).
+    seed : base seed for per-flush RNG derivation (see
+        ``MicroBatcher.seed_per_flush``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_in_flight: int = 256,
+        workers: int = 2,
+        flush_interval: float = 0.001,
+        seed: int = 0,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.host = host
+        self.port = port
+        self.max_in_flight = max_in_flight
+        self.num_workers = workers
+        self.flush_interval = flush_interval
+        self.seed = seed
+        #: Streaming windows idle for this many observation-window lengths
+        #: are evicted on the next ``observe`` (bounds per-connection state).
+        self.stale_after = 4
+        self._models: dict[str, _ModelWorker] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._flush_task: asyncio.Task | None = None
+        self._connections: set[_Connection] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self._closing = False
+        self._stopped = False
+        self._started_at = time.monotonic()
+        self._next_conn_id = 0
+        # Counters surfaced through ``stats``.
+        self.in_flight = 0
+        self.in_flight_peak = 0
+        self.accepted = 0
+        self.rejected_overload = 0
+        self.internal_errors = 0
+        self.total_connections = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_model(
+        self,
+        name: str,
+        predictor: Predictor,
+        *,
+        num_samples: int = 1,
+        max_batch_size: int = 32,
+        max_wait: float = 0.0,
+        max_neighbours: int | None = None,
+    ) -> None:
+        """Register ``predictor`` under ``name`` before :meth:`start`.
+
+        Each model gets its own externally-driven micro-batcher whose noise
+        is derived per flush from the server seed, so served outputs are
+        replayable offline regardless of scheduling.
+        """
+        if name in self._models:
+            raise ValueError(f"model {name!r} already registered")
+        batcher = MicroBatcher(
+            predictor,
+            num_samples=num_samples,
+            max_batch_size=max_batch_size,
+            max_wait=max_wait,
+            max_neighbours=max_neighbours,
+            seed_per_flush=self.seed,
+            auto_flush=False,
+        )
+        self._models[name] = _ModelWorker(self, name, batcher)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind, spin up the worker pool and flush loop; returns the address."""
+        if not self._models:
+            raise RuntimeError("no models registered; call add_model() first")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="repro-serve"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self._started_at = time.monotonic()
+        self._flush_task = self._loop.create_task(self._flush_loop())
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (after :meth:`start`)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful, idempotent shutdown.
+
+        Stops accepting, terminates every queued prediction with
+        ``shutting_down`` (never leaves a client hanging), waits for
+        in-executor flushes to finish, then closes connections and the pool.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self._closing = True
+        if self._server is not None:
+            # close() stops new connections; wait_closed() is deliberately
+            # deferred until after connection teardown — on Python 3.12.1+
+            # it waits for every connection handler to return, and handlers
+            # only return once their clients' pending responses (delivered
+            # below) have gone out and the transports are closed.
+            self._server.close()
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+        # Fail everything still queued; handles become terminally done.
+        for worker in self._models.values():
+            worker.batcher.shutdown("server shutting down")
+        # Let chunks already on the pool finish (their waiters get results).
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        for worker in self._models.values():
+            worker.resolve_terminal()
+        # Give response tasks a chance to write their final frames.
+        pending = [t for conn in self._connections for t in conn.tasks]
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
+        for conn in list(self._connections):
+            conn.writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    async def _flush_loop(self) -> None:
+        """Background max-wait timer: the caller never has to poll."""
+        while True:
+            await asyncio.sleep(self.flush_interval)
+            for worker in self._models.values():
+                # Idle models are skipped without touching their lock.
+                if worker.batcher.pending_count:
+                    worker.drain()
+
+    def _track_task(self, task: asyncio.Task) -> None:
+        """Keep a strong reference to a chunk task until it completes.
+
+        ``stop`` awaits this set so in-executor flushes finish (and their
+        waiters resolve) before connections are torn down.
+        """
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._next_conn_id += 1
+        self.total_connections += 1
+        conn = _Connection(self._next_conn_id, reader, writer)
+        self._connections.add(conn)
+        try:
+            while True:
+                try:
+                    message = await protocol.read_frame(reader)
+                except ProtocolError:
+                    break  # corrupt framing: the stream cannot be trusted
+                if message is None:
+                    break  # clean EOF
+                task = self._loop.create_task(self._handle_message(conn, message))
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(conn)
+            writer.close()
+
+    async def _handle_message(self, conn: _Connection, message: dict) -> None:
+        raw_id = message.get("id")
+        req_id = raw_id if isinstance(raw_id, (str, int, float)) else None
+        try:
+            op, req_id = protocol.validate_request(message)
+            # Read-only probes keep working while draining (a shedding
+            # server must not blind the operator); only work-creating
+            # operations are refused.
+            if self._closing and op not in ("health", "stats"):
+                raise ServingClosedError("server is shutting down")
+            handler = getattr(self, f"_op_{op}")
+            result = await handler(conn, message)
+        except ProtocolError as error:
+            await conn.send(protocol.error_response(req_id, error.code, str(error)))
+        except OverloadedError as error:
+            self.rejected_overload += 1
+            await conn.send(
+                protocol.error_response(req_id, protocol.E_OVERLOADED, str(error))
+            )
+        except ServingClosedError as error:
+            await conn.send(
+                protocol.error_response(req_id, protocol.E_SHUTTING_DOWN, str(error))
+            )
+        except Exception as error:  # unexpected: typed as internal
+            self.internal_errors += 1
+            await conn.send(
+                protocol.error_response(
+                    req_id, protocol.E_INTERNAL, f"{type(error).__name__}: {error}"
+                )
+            )
+        else:
+            try:
+                await conn.send(protocol.ok_response(req_id, result))
+            except ProtocolError as error:
+                # encode_frame refused (response over the frame cap) before
+                # any byte was written, so the stream is intact — answer
+                # with a typed error instead of leaving the id unanswered.
+                self.internal_errors += 1
+                await conn.send(
+                    protocol.error_response(
+                        req_id, protocol.E_INTERNAL, f"response too large: {error}"
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _worker(self, message: dict) -> _ModelWorker:
+        name = _require(message, "model", (str,), "a registered model name")
+        worker = self._models.get(name)
+        if worker is None:
+            raise ProtocolError(
+                f"unknown model {name!r} (registered: {sorted(self._models)})",
+                protocol.E_UNKNOWN_MODEL,
+            )
+        return worker
+
+    def _conn_windows(self, conn: _Connection, worker: _ModelWorker) -> StreamingWindows:
+        windows = conn.windows.get(worker.name)
+        if windows is None:
+            windows = conn.windows[worker.name] = StreamingWindows(
+                obs_len=worker.batcher.predictor.obs_len,
+                max_neighbours=worker.batcher.max_neighbours,
+            )
+        return windows
+
+    def _admit(self, count: int) -> None:
+        if self.in_flight + count > self.max_in_flight:
+            raise OverloadedError(
+                f"{self.in_flight} predictions in flight; admitting {count} more "
+                f"would exceed the cap of {self.max_in_flight} — retry later"
+            )
+        self.accepted += count
+
+    def _note_inflight(self, delta: int) -> None:
+        self.in_flight += delta
+        self.in_flight_peak = max(self.in_flight_peak, self.in_flight)
+
+    @staticmethod
+    def _handle_payload(handle: PendingPrediction) -> dict:
+        samples = handle.result()  # re-raises the terminal error, if any
+        return {
+            "samples": samples.tolist(),
+            "meta": {
+                "batch_id": handle.batch_id,
+                "row": handle.batch_row,
+                "batch_size": handle.batch_size,
+            },
+        }
+
+    async def _op_health(self, conn: _Connection, message: dict) -> dict:
+        return {
+            "status": "shutting_down" if self._closing else "ok",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "models": sorted(self._models),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+
+    async def _op_stats(self, conn: _Connection, message: dict) -> dict:
+        return {
+            "server": {
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "connections": len(self._connections),
+                "total_connections": self.total_connections,
+                "in_flight": self.in_flight,
+                "in_flight_peak": self.in_flight_peak,
+                "max_in_flight": self.max_in_flight,
+                "accepted": self.accepted,
+                "rejected_overload": self.rejected_overload,
+                "internal_errors": self.internal_errors,
+                "workers": self.num_workers,
+            },
+            "models": {name: worker.stats() for name, worker in self._models.items()},
+        }
+
+    async def _op_observe(self, conn: _Connection, message: dict) -> dict:
+        worker = self._worker(message)
+        frame = int(_require(message, "frame", (int,), "an integer frame number"))
+        positions = _require(message, "positions", (dict,), "an object of agent positions")
+        parsed: dict[str, tuple[float, float]] = {}
+        for agent_id, xy in positions.items():
+            point = _parse_array(xy, "[x, y]", 1)
+            if point.shape != (2,):
+                raise ProtocolError(
+                    f"position for agent {agent_id!r} must be [x, y], "
+                    f"got shape {point.shape}",
+                    protocol.E_BAD_REQUEST,
+                )
+            parsed[agent_id] = (float(point[0]), float(point[1]))
+        windows = self._conn_windows(conn, worker)
+        windows.push_frame(frame, parsed)
+        # Bound per-connection state: agents not heard from for a few window
+        # lengths are dropped, so id churn on a long-lived connection cannot
+        # grow the server without limit.
+        dropped = windows.drop_stale(frame, self.stale_after * windows.obs_len)
+        return {
+            "agents": windows.num_agents,
+            "ready": sorted(windows.ready_agents(frame)),
+            "dropped": dropped,
+        }
+
+    async def _op_predict(self, conn: _Connection, message: dict) -> dict:
+        worker = self._worker(message)
+        if "obs" in message:
+            return await self._predict_explicit(conn, worker, message)
+        if "frame" in message:
+            return await self._predict_frame(conn, worker, message)
+        raise ProtocolError(
+            "predict needs either 'obs' (explicit window) or 'frame' "
+            "(predict every ready observed agent)",
+            protocol.E_BAD_REQUEST,
+        )
+
+    async def _predict_explicit(
+        self, conn: _Connection, worker: _ModelWorker, message: dict
+    ) -> dict:
+        obs = _parse_array(message["obs"], "[obs_len, 2]", 2)
+        neighbours = (
+            _parse_array(message["neighbours"], "[N, obs_len, 2]", 3)
+            if message.get("neighbours")
+            else None
+        )
+        domain_id = message.get("domain_id", 0)
+        if not isinstance(domain_id, int) or isinstance(domain_id, bool):
+            raise ProtocolError("'domain_id' must be an integer", protocol.E_BAD_REQUEST)
+        try:
+            request = PredictRequest(
+                request_id=(conn.conn_id, message.get("id")),
+                obs=obs,
+                neighbours=neighbours,
+                domain_id=domain_id,
+            )
+        except ValueError as error:
+            raise ProtocolError(str(error), protocol.E_BAD_REQUEST) from error
+        self._admit(1)
+        try:
+            future = worker.submit(request)
+        except ValueError as error:  # e.g. wrong window length
+            self.accepted -= 1
+            raise ProtocolError(str(error), protocol.E_BAD_REQUEST) from error
+        except BaseException:  # never queued (e.g. racing shutdown)
+            self.accepted -= 1
+            raise
+        handle = await future
+        return self._handle_payload(handle)
+
+    async def _predict_frame(
+        self, conn: _Connection, worker: _ModelWorker, message: dict
+    ) -> dict:
+        frame = int(_require(message, "frame", (int,), "an integer frame number"))
+        windows = self._conn_windows(conn, worker)
+        requests = windows.requests(frame)
+        if not requests:
+            return {"agents": {}}
+        self._admit(len(requests))
+        futures = []
+        try:
+            for request in requests:
+                futures.append(worker.submit(request))
+        except BaseException:
+            # Roll back what never made it into the queue (a racing
+            # shutdown); already-submitted handles resolve on their own.
+            self.accepted -= len(requests) - len(futures)
+            raise
+        handles = await asyncio.gather(*futures)
+        return {
+            "agents": {
+                str(request.request_id[0]): self._handle_payload(handle)
+                for request, handle in zip(requests, handles)
+            }
+        }
+
+    async def _op_flush(self, conn: _Connection, message: dict) -> dict:
+        worker = self._worker(message)
+        return {"flushed": worker.flush_now()}
+
+
+class ServerThread:
+    """Host an :class:`AsyncServingServer` on a daemon thread.
+
+    The blocking start/stop face used by the sync world (tests, the
+    ``bench_server`` load generator, the demo, CI smoke): ``start()`` returns
+    the bound address once the server accepts connections and ``stop()``
+    tears everything down and joins the thread.  Context-manager friendly.
+    """
+
+    def __init__(self, server: AsyncServingServer) -> None:
+        self.server = server
+        self._thread = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = None
+        self._startup_error: BaseException | None = None
+
+    def start(self, timeout: float = 30.0) -> tuple[str, int]:
+        import threading
+
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._ready = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as error:  # surface bind errors to start()
+                self._startup_error = error
+                self._ready.set()
+                loop.close()
+                return
+            self._ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start within the timeout")
+        if self._startup_error is not None:
+            # Reset so a `finally: thread.stop()` is a no-op and the caller
+            # may retry start() (e.g. on a different port).
+            error, self._startup_error = self._startup_error, None
+            self._thread.join(timeout)
+            self._thread = None
+            self._loop = None
+            raise error
+        return self.server.address
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None or self._loop is None or self._loop.is_closed():
+            self._thread = None
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        try:
+            future.result(timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> ServerThread:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI: serve one or more registry models until interrupted."""
+    import argparse
+
+    from repro.serve.registry import ModelRegistry
+
+    parser = argparse.ArgumentParser(
+        description="Serve trained models from a ModelRegistry over TCP."
+    )
+    parser.add_argument("--registry", required=True, help="registry root directory")
+    parser.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        help="model name (repeatable); NAME or NAME:VERSION",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8707)
+    parser.add_argument("--num-samples", type=int, default=1)
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--max-wait", type=float, default=0.0)
+    parser.add_argument("--max-in-flight", type=int, default=256)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    registry = ModelRegistry(args.registry)
+    server = AsyncServingServer(
+        args.host,
+        args.port,
+        max_in_flight=args.max_in_flight,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    for spec in args.model:
+        name, _, version = spec.partition(":")
+        predictor = registry.load(name, int(version) if version else None)
+        server.add_model(
+            name,
+            predictor,
+            num_samples=args.num_samples,
+            max_batch_size=args.max_batch_size,
+            max_wait=args.max_wait,
+        )
+
+    async def serve() -> None:
+        host, port = await server.start()
+        print(f"serving {sorted(server._models)} on {host}:{port}")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

@@ -227,6 +227,38 @@ class TestAutogradMachinery:
             y = x * 2
         assert not y.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        """A worker thread's no_grad must not leak into other threads.
+
+        The async serving front-end runs inference on a worker pool while
+        other threads may be training; the recording flag is per-thread.
+        """
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen_in_worker: list[bool] = []
+
+        def worker():
+            with no_grad():
+                seen_in_worker.append(is_grad_enabled())
+                entered.set()
+                release.wait(timeout=5.0)
+            seen_in_worker.append(is_grad_enabled())
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        # While the worker sits inside no_grad, this thread still records.
+        assert is_grad_enabled()
+        x = Tensor([1.0], requires_grad=True)
+        assert (x * 2).requires_grad
+        release.set()
+        thread.join(timeout=5.0)
+        assert seen_in_worker == [False, True]
+
     def test_detach_cuts_graph(self):
         x = Tensor([1.0], requires_grad=True)
         y = x.detach() * 2

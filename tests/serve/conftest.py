@@ -11,6 +11,14 @@ from repro.data.registry import DataConfig, load_multi_domain
 from repro.serve import Predictor
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "server_config(predictor=..., model=..., **server_kwargs): "
+        "configuration for the `running` AsyncServingServer fixture",
+    )
+
+
 TRAIN_DOMAINS = ["syi", "eth_ucy"]
 ALL_DOMAINS = ["syi", "eth_ucy", "sdd"]
 

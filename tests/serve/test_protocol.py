@@ -1,0 +1,109 @@
+"""Wire-protocol unit tests: framing, schema validation, error typing."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"v": 1, "id": 3, "op": "health", "x": [1.5, -2.0]}
+        frame = protocol.encode_frame(message)
+        length = struct.unpack(">I", frame[:4])[0]
+        assert length == len(frame) - 4
+        assert protocol.decode_payload(frame[4:]) == message
+
+    def test_header_is_big_endian_u32(self):
+        frame = protocol.encode_frame({})
+        assert frame[:4] == b"\x00\x00\x00\x02"  # '{}'
+
+    def test_oversized_frame_rejected_on_encode(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_frame({"data": "x" * 100})
+
+    def test_oversized_length_rejected_on_read(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 16)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol._check_length(17)
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            protocol.decode_payload(b"\xff\xfe")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_payload(b"[1, 2]")
+
+
+class TestMessages:
+    def test_request_builder(self):
+        message = protocol.request("predict", 9, model="m")
+        assert message == {
+            "v": protocol.PROTOCOL_VERSION,
+            "id": 9,
+            "op": "predict",
+            "model": "m",
+        }
+
+    def test_ok_and_error_responses(self):
+        ok = protocol.ok_response(4, {"a": 1})
+        assert ok["ok"] and ok["id"] == 4 and ok["result"] == {"a": 1}
+        err = protocol.error_response(4, protocol.E_OVERLOADED, "busy")
+        assert not err["ok"]
+        assert err["error"] == {"code": "overloaded", "message": "busy"}
+
+    def test_validate_accepts_every_operation(self):
+        for op in protocol.OPERATIONS:
+            assert protocol.validate_request(protocol.request(op, 1)) == (op, 1)
+
+    def test_validate_rejects_missing_id(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"v": 1, "op": "health"})
+        assert excinfo.value.code == protocol.E_BAD_REQUEST
+
+    def test_validate_rejects_wrong_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"v": 99, "id": 1, "op": "health"})
+        assert excinfo.value.code == protocol.E_UNSUPPORTED_VERSION
+
+    def test_validate_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"v": 1, "id": 1, "op": "train"})
+        assert excinfo.value.code == protocol.E_UNKNOWN_OP
+
+
+class TestSyncFraming:
+    def test_socketpair_round_trip(self):
+        import socket
+
+        a, b = socket.socketpair()
+        try:
+            protocol.write_frame_sync(a, {"v": 1, "id": 1, "op": "health"})
+            protocol.write_frame_sync(a, {"v": 1, "id": 2, "op": "stats"})
+            first = protocol.read_frame_sync(b)
+            second = protocol.read_frame_sync(b)
+            assert (first["id"], second["id"]) == (1, 2)
+            a.close()
+            assert protocol.read_frame_sync(b) is None  # clean EOF
+        finally:
+            a.close()
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        import socket
+
+        a, b = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"v": 1, "id": 1, "op": "health"})
+            a.sendall(frame[: len(frame) - 3])  # truncate inside the payload
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                protocol.read_frame_sync(b)
+        finally:
+            b.close()

@@ -1,0 +1,370 @@
+"""Async serving front-end tests: round trips, isolation, backpressure.
+
+Everything runs against a real ``AsyncServingServer`` on a loopback socket
+(event loop hosted by ``ServerThread``), driven by the blocking
+``ServingClient`` — the same topology as the benchmark gate and the demo.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AsyncServingServer,
+    RemoteServingError,
+    ServerThread,
+    ServingClient,
+)
+from repro.serve import protocol
+
+
+class StubPredictor:
+    """Deterministic row-wise predictor (velocity extrapolation)."""
+
+    pred_len = 12
+    obs_len = 8
+
+    def __init__(self, delay: float = 0.0) -> None:
+        self.delay = delay
+        self.batch_sizes: list[int] = []
+
+    def predict_world(self, batch, num_samples, rng):
+        if self.delay:
+            time.sleep(self.delay)
+        self.batch_sizes.append(batch.size)
+        velocity = batch.obs[:, -1] - batch.obs[:, -2]
+        steps = np.arange(1, self.pred_len + 1)[None, :, None]
+        future = batch.obs[:, -1][:, None, :] + velocity[:, None, :] * steps
+        world = future + batch.origins[:, None, :]
+        return np.repeat(world[None], num_samples, axis=0)
+
+
+def expected_extrapolation(obs: np.ndarray, pred_len: int = 12) -> np.ndarray:
+    velocity = obs[-1] - obs[-2]
+    steps = np.arange(1, pred_len + 1)[:, None]
+    return obs[-1][None, :] + velocity[None, :] * steps
+
+
+def make_obs(seed: int = 0, obs_len: int = 8) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(size=(obs_len, 2)), axis=0)
+
+
+@pytest.fixture
+def running(request):
+    """Start a server around the given (predictor-config) marker, yield
+    (server, host, port, predictor)."""
+    marker = request.node.get_closest_marker("server_config")
+    kwargs = dict(marker.kwargs) if marker else {}
+    model_kwargs = kwargs.pop("model", {})
+    predictor = kwargs.pop("predictor", None) or StubPredictor()
+    server = AsyncServingServer(**{"max_in_flight": 64, "workers": 2, **kwargs})
+    server.add_model("stub", predictor, **model_kwargs)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    yield server, host, port, predictor
+    thread.stop()
+
+
+class TestRoundTrips:
+    def test_health(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            health = client.health()
+        assert health["status"] == "ok"
+        assert health["protocol"] == protocol.PROTOCOL_VERSION
+        assert health["models"] == ["stub"]
+        assert health["uptime_s"] >= 0
+
+    def test_explicit_predict_matches_model(self, running):
+        _, host, port, _ = running
+        obs = make_obs(1)
+        with ServingClient.connect(host, port) as client:
+            samples, meta = client.predict("stub", obs, return_meta=True)
+        assert samples.shape == (1, 12, 2)
+        np.testing.assert_allclose(samples[0], expected_extrapolation(obs), atol=1e-9)
+        assert meta["row"] < meta["batch_size"]
+        assert meta["batch_id"] >= 0
+
+    def test_observe_then_predict_frame(self, running):
+        _, host, port, _ = running
+        tracks = {"a": make_obs(2), "b": make_obs(3) + 5.0}
+        with ServingClient.connect(host, port) as client:
+            for frame in range(8):
+                result = client.observe(
+                    "stub", frame, {k: obs[frame] for k, obs in tracks.items()}
+                )
+            assert result["agents"] == 2
+            assert result["ready"] == ["a", "b"]
+            agents = client.predict_frame("stub", 7)
+        assert set(agents) == {"a", "b"}
+        for agent_id, obs in tracks.items():
+            assert agents[agent_id].shape == (1, 12, 2)
+            np.testing.assert_allclose(
+                agents[agent_id][0], expected_extrapolation(obs), atol=1e-9
+            )
+
+    def test_observe_evicts_stale_windows(self, running):
+        """Silence is eviction: ids not seen for stale_after * obs_len frames
+        are dropped on the next observe, bounding per-connection state."""
+        server, host, port, _ = running
+        horizon = server.stale_after * 8  # stale_after windows of obs_len 8
+        with ServingClient.connect(host, port) as client:
+            client.observe("stub", 0, {"ghost": (0.0, 0.0)})
+            result = client.observe("stub", horizon, {"live": (1.0, 1.0)})
+            assert result["dropped"] == 0  # ghost is exactly at the horizon
+            result = client.observe("stub", horizon + 1, {"live": (1.0, 1.1)})
+            assert result["dropped"] == 1
+            assert result["agents"] == 1  # only "live" remains
+
+    def test_predict_frame_with_no_ready_agents(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            client.observe("stub", 0, {"a": (0.0, 0.0)})  # partial window
+            assert client.predict_frame("stub", 0) == {}
+
+    def test_stats_counters(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            client.predict("stub", make_obs(4))
+            stats = client.stats()
+        assert stats["server"]["accepted"] == 1
+        assert stats["server"]["in_flight"] == 0
+        assert stats["server"]["in_flight_peak"] >= 1
+        model = stats["models"]["stub"]
+        assert model["total_completed"] == 1
+        assert model["latency"]["count"] == 1
+        assert model["latency"]["mean_s"] > 0
+
+
+class TestIsolation:
+    def test_same_agent_ids_on_two_connections_do_not_collide(self, running):
+        """Streaming windows are per connection: identical agent ids with
+        different trajectories must yield each client its own prediction."""
+        _, host, port, _ = running
+        track_a, track_b = make_obs(10), make_obs(11) + 40.0
+        with ServingClient.connect(host, port) as one, ServingClient.connect(
+            host, port
+        ) as two:
+            for frame in range(8):
+                one.observe("stub", frame, {"agent": track_a[frame]})
+                two.observe("stub", frame, {"agent": track_b[frame]})
+            served_one = one.predict_frame("stub", 7)["agent"]
+            served_two = two.predict_frame("stub", 7)["agent"]
+        np.testing.assert_allclose(
+            served_one[0], expected_extrapolation(track_a), atol=1e-9
+        )
+        np.testing.assert_allclose(
+            served_two[0], expected_extrapolation(track_b), atol=1e-9
+        )
+        assert not np.allclose(served_one, served_two)
+
+
+class TestErrors:
+    def test_unknown_model(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.predict("nope", make_obs())
+        assert excinfo.value.code == protocol.E_UNKNOWN_MODEL
+
+    def test_bad_window_length(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.predict("stub", make_obs(obs_len=5))
+        assert excinfo.value.code == protocol.E_BAD_REQUEST
+
+    def test_malformed_predict(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.call("predict", model="stub")  # neither obs nor frame
+        assert excinfo.value.code == protocol.E_BAD_REQUEST
+
+    def test_unknown_operation(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.call("train", model="stub")
+        assert excinfo.value.code == protocol.E_UNKNOWN_OP
+
+    def test_version_mismatch(self, running):
+        _, host, port, _ = running
+        import socket
+
+        with socket.create_connection((host, port)) as sock:
+            protocol.write_frame_sync(sock, {"v": 99, "id": 1, "op": "health"})
+            response = protocol.read_frame_sync(sock)
+        assert response["ok"] is False
+        assert response["error"]["code"] == protocol.E_UNSUPPORTED_VERSION
+        assert response["id"] == 1
+
+    def test_internal_error_is_typed(self, running):
+        server, host, port, predictor = running
+
+        def explode(batch, num_samples, rng):
+            raise RuntimeError("model melted")
+
+        predictor.predict_world = explode
+        with ServingClient.connect(host, port) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.predict("stub", make_obs())
+        assert excinfo.value.code == protocol.E_INTERNAL
+        assert "model melted" in str(excinfo.value)
+
+
+class TestBackpressure:
+    @pytest.mark.server_config(
+        max_in_flight=2, predictor=StubPredictor(delay=0.25), model={"max_wait": 0.0}
+    )
+    def test_overload_fast_fails(self, running):
+        """With the cap at 2 and a slow model, a third concurrent predict is
+        rejected immediately with ``overloaded`` instead of queueing."""
+        _, host, port, _ = running
+        results: dict[str, object] = {}
+
+        def slow_call(name: str) -> None:
+            with ServingClient.connect(host, port) as client:
+                try:
+                    results[name] = client.predict("stub", make_obs())
+                except RemoteServingError as error:
+                    results[name] = error
+
+        threads = [
+            threading.Thread(target=slow_call, args=(f"c{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)  # both slow predictions are now in flight
+        start = time.perf_counter()
+        with ServingClient.connect(host, port) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.predict("stub", make_obs())
+        fast_fail = time.perf_counter() - start
+        for thread in threads:
+            thread.join()
+        assert excinfo.value.code == protocol.E_OVERLOADED
+        assert fast_fail < 0.2  # rejected without waiting for the slow model
+        assert all(isinstance(v, np.ndarray) for v in results.values())
+
+    @pytest.mark.server_config(model={"max_wait": 30.0, "max_batch_size": 64})
+    def test_flush_releases_waiting_partial_batch(self, running):
+        """With a huge max_wait the only way a partial batch runs is an
+        explicit ``flush`` — the max-wait timer lives on the server."""
+        _, host, port, _ = running
+        received = {}
+
+        def waiting_predict() -> None:
+            with ServingClient.connect(host, port) as client:
+                received["samples"] = client.predict("stub", make_obs())
+
+        thread = threading.Thread(target=waiting_predict)
+        thread.start()
+        time.sleep(0.15)
+        assert "samples" not in received  # still coalescing
+        with ServingClient.connect(host, port) as client:
+            assert client.flush("stub") == 1
+        thread.join(timeout=5.0)
+        assert received["samples"].shape == (1, 12, 2)
+
+    @pytest.mark.server_config(
+        predictor=StubPredictor(delay=0.05), model={"max_wait": 0.0}
+    )
+    def test_concurrent_clients_coalesce(self, running):
+        """Closed-loop concurrent clients must produce multi-row batches
+        (adaptive batching under backpressure), not a convoy of singles."""
+        _, host, port, predictor = running
+        num_clients, per_client = 6, 6
+
+        def run_client(seed: int) -> None:
+            with ServingClient.connect(host, port) as client:
+                for i in range(per_client):
+                    client.predict("stub", make_obs(seed * 100 + i))
+
+        threads = [
+            threading.Thread(target=run_client, args=(c,)) for c in range(num_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(predictor.batch_sizes) == num_clients * per_client
+        assert max(predictor.batch_sizes) > 1  # genuine coalescing happened
+
+
+class TestRealModelEquivalence:
+    def test_served_predictions_match_offline_replay(
+        self, trained_vanilla, request_factory
+    ):
+        """Network-served samples equal the offline ``predict_samples`` path
+        on the identically-composed batch, recomposed from the response meta
+        and the per-flush RNG derivation (the bench_server gate, in-suite)."""
+        from repro.serve import Predictor, collate_requests
+
+        predictor = Predictor(trained_vanilla)
+        seed, num_samples = 42, 2
+        server = AsyncServingServer(max_in_flight=64, workers=2, seed=seed)
+        server.add_model("vanilla", predictor, num_samples=num_samples)
+        with ServerThread(server) as thread:
+            host, port = server.address
+            sent = []
+            with ServingClient.connect(host, port) as client:
+                for i in range(6):
+                    request = request_factory(i, num_neighbours=i % 3)
+                    samples, meta = client.predict(
+                        "vanilla",
+                        request.obs,
+                        neighbours=request.neighbours,
+                        return_meta=True,
+                    )
+                    sent.append((request, samples, meta))
+        # Recompose each served batch offline, in row order.
+        by_batch: dict[int, list] = {}
+        for request, samples, meta in sent:
+            by_batch.setdefault(meta["batch_id"], []).append((request, samples, meta))
+        for batch_id, rows in by_batch.items():
+            rows.sort(key=lambda entry: entry[2]["row"])
+            assert len(rows) == rows[0][2]["batch_size"]  # this client sent all rows
+            batch = collate_requests(
+                [request for request, _, _ in rows], pred_len=predictor.pred_len
+            )
+            offline = trained_vanilla.predict(
+                batch, num_samples, np.random.default_rng((seed, batch_id))
+            )
+            offline_world = offline + batch.origins[None, :, None, :]
+            for row, (_, served, _) in enumerate(rows):
+                np.testing.assert_allclose(served, offline_world[:, row], atol=1e-6)
+
+
+class TestShutdown:
+    @pytest.mark.server_config(model={"max_wait": 30.0, "max_batch_size": 64})
+    def test_stop_terminates_waiting_clients(self, running):
+        """Clients waiting on a never-flushed batch get ``shutting_down``
+        instead of hanging (the PR-4 shutdown bugfix, observed on the wire)."""
+        server, host, port, _ = running
+        outcome = {}
+
+        def waiting_predict() -> None:
+            with ServingClient.connect(host, port) as client:
+                try:
+                    outcome["value"] = client.predict("stub", make_obs())
+                except Exception as error:  # noqa: BLE001 - recorded for assert
+                    outcome["value"] = error
+
+        thread = threading.Thread(target=waiting_predict)
+        thread.start()
+        time.sleep(0.15)
+        import asyncio
+
+        asyncio.run_coroutine_threadsafe(
+            server.stop(), server._loop
+        ).result(timeout=10.0)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "client hung through server shutdown"
+        assert isinstance(outcome["value"], RemoteServingError)
+        assert outcome["value"].code == protocol.E_SHUTTING_DOWN

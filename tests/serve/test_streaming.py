@@ -64,6 +64,105 @@ class TestWindowLifecycle:
         assert windows.num_agents == 1
 
 
+class TestConcurrentServingEdgeCases:
+    """Edge cases the network front-end hits: gap-reset races, duplicate
+    deliveries, and agent-id collisions across clients."""
+
+    def test_gap_reset_then_immediate_reobservation(self):
+        """A gap must discard the stale history entirely: the rebuilt window
+        becomes ready only after obs_len fresh consecutive frames, and its
+        contents are exclusively post-gap points."""
+        windows = StreamingWindows(obs_len=3)
+        feed_track(windows, "a", 0, [(float(f), 0.0) for f in range(3)])
+        assert windows.ready_agents(2) == ["a"]
+        # Network hiccup: frames 3-5 lost; the stream resumes at 6.
+        windows.push("a", 6, 100.0, 0.0)
+        assert windows.ready_agents(6) == []  # one fresh point != a window
+        windows.push("a", 7, 101.0, 0.0)
+        assert windows.ready_agents(7) == []
+        windows.push("a", 8, 102.0, 0.0)
+        [request] = windows.requests(8)
+        # No pre-gap coordinate may leak into the rebuilt window.
+        np.testing.assert_array_equal(request.obs[:, 0], [100.0, 101.0, 102.0])
+
+    def test_gap_reset_midfill_discards_partial_history(self):
+        """A gap while the window is still filling also restarts the count."""
+        windows = StreamingWindows(obs_len=3)
+        windows.push("a", 0, 0.0, 0.0)
+        windows.push("a", 1, 1.0, 0.0)
+        windows.push("a", 3, 9.0, 0.0)  # frame 2 missing
+        windows.push("a", 4, 10.0, 0.0)
+        assert windows.ready_agents(4) == []  # only 2 post-gap points
+        windows.push("a", 5, 11.0, 0.0)
+        [request] = windows.requests(5)
+        np.testing.assert_array_equal(request.obs[:, 0], [9.0, 10.0, 11.0])
+
+    def test_duplicate_agent_frame_update_on_full_window(self):
+        """Redelivery of the current frame (retry, at-least-once transport)
+        overwrites that frame's point without shifting the window."""
+        windows = StreamingWindows(obs_len=3)
+        feed_track(windows, "a", 0, [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)])
+        windows.push("a", 2, 2.5, 0.5)  # corrected measurement for frame 2
+        [request] = windows.requests(2)
+        np.testing.assert_array_equal(
+            request.obs, [[0.0, 0.0], [1.0, 0.0], [2.5, 0.5]]
+        )
+        # Still exactly one window; the duplicate did not advance time.
+        assert windows.ready_agents(3) == []
+
+    def test_duplicate_updates_do_not_inflate_readiness(self):
+        """N deliveries of one frame must not count as N distinct frames."""
+        windows = StreamingWindows(obs_len=3)
+        for _ in range(5):
+            windows.push("a", 0, 1.0, 1.0)
+        assert windows.ready_agents(0) == []  # one real frame observed
+
+    def test_interleaved_agent_id_collision_single_instance(self):
+        """Two traffic sources sharing one StreamingWindows and one agent id
+        interleave into a single (last-write-wins) history — the documented
+        hazard that makes the server keep windows per connection."""
+        windows = StreamingWindows(obs_len=2)
+        # Source 1 and source 2 both claim agent id "x" at the same frames.
+        windows.push("x", 0, 0.0, 0.0)    # source 1
+        windows.push("x", 0, 50.0, 50.0)  # source 2 overwrites frame 0
+        windows.push("x", 1, 1.0, 0.0)    # source 1
+        windows.push("x", 1, 51.0, 50.0)  # source 2 overwrites frame 1
+        [request] = windows.requests(1)
+        # One coherent (if wrong-for-source-1) window; never a mix that
+        # fabricates a jump within one frame, and never two windows.
+        np.testing.assert_array_equal(request.obs, [[50.0, 50.0], [51.0, 50.0]])
+        assert windows.num_agents == 1
+
+    def test_interleaved_multi_client_isolation_with_separate_instances(self):
+        """The server-side arrangement: one StreamingWindows per client makes
+        colliding agent ids structurally independent."""
+        client_one = StreamingWindows(obs_len=2)
+        client_two = StreamingWindows(obs_len=2)
+        for frame in range(2):
+            # Interleaved arrival order, same agent id, different tracks.
+            client_one.push("agent", frame, float(frame), 0.0)
+            client_two.push("agent", frame, 50.0 + frame, 9.0)
+        [one] = client_one.requests(1)
+        [two] = client_two.requests(1)
+        np.testing.assert_array_equal(one.obs, [[0.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_array_equal(two.obs, [[50.0, 9.0], [51.0, 9.0]])
+        assert one.num_neighbours == 0 and two.num_neighbours == 0
+
+    def test_out_of_order_replay_resets_like_a_gap(self):
+        """A frame arriving from the past (replayed backlog) cannot extend a
+        window; it restarts the history at that point."""
+        windows = StreamingWindows(obs_len=2)
+        windows.push("a", 5, 5.0, 0.0)
+        windows.push("a", 6, 6.0, 0.0)
+        assert windows.ready_agents(6) == ["a"]
+        windows.push("a", 3, 3.0, 0.0)  # stale replay
+        assert windows.ready_agents(6) == []
+        assert windows.ready_agents(3) == []  # and not ready in the past either
+        windows.push("a", 4, 4.0, 0.0)
+        [request] = windows.requests(4)
+        np.testing.assert_array_equal(request.obs[:, 0], [3.0, 4.0])
+
+
 class TestRequestAssembly:
     def test_neighbours_are_other_ready_agents(self):
         windows = StreamingWindows(obs_len=2)
