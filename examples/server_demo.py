@@ -107,6 +107,24 @@ def main() -> None:
                   f"mean latency {model_stats['latency']['mean_s'] * 1e3:.2f} ms, "
                   f"in-flight peak {stats['server']['in_flight_peak']})")
             assert model_stats["total_completed"] > 0
+
+        # 5. The same request over the v2 binary encoding: the samples ride
+        # in a raw float tail instead of JSON, shrinking large-K responses.
+        # (Values differ between the two calls — each flush draws fresh
+        # per-batch noise — so compare shape and size, not samples.)
+        window = np.cumsum(np.full((8, 2), 0.1), axis=0)
+        with ServingClient.connect(host, port) as plain:
+            plain_samples = plain.predict(MODEL, window)
+            json_bytes = plain.last_response_bytes
+        with ServingClient.connect(host, port, binary=True) as binary_client:
+            assert binary_client.supports_binary()
+            binary_samples = binary_client.predict(MODEL, window)
+            binary_bytes = binary_client.last_response_bytes
+        assert binary_samples.shape == plain_samples.shape
+        assert binary_bytes < json_bytes
+        print(f"binary predict response: {binary_bytes} bytes "
+              f"vs {json_bytes} JSON "
+              f"({binary_bytes / json_bytes:.0%} of the JSON payload)")
     print("server stopped cleanly")
 
 

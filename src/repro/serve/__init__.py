@@ -9,9 +9,11 @@ The inference-side counterpart to the training stack, in two layers:
   :class:`StreamingWindows` for per-agent sliding observation windows over
   live point streams, and the composed :class:`ServingEngine`.
 * **Network** — :class:`AsyncServingServer`, an asyncio TCP front-end
-  speaking a length-prefixed JSON protocol (:mod:`repro.serve.protocol`)
-  with admission control and externally-driven batching, plus the blocking
-  :class:`ServingClient`.
+  speaking a length-prefixed JSON/binary protocol (:mod:`repro.serve.protocol`)
+  with admission control, externally-driven batching, and weighted
+  :class:`Router`-based replica pools, plus the blocking
+  :class:`ServingClient` with :class:`RetryPolicy` backoff and a binary
+  payload mode.
 
 Serving invariants (see ``docs/architecture.md`` and ``docs/serving.md``):
 
@@ -38,12 +40,17 @@ from repro.serve.batcher import (
     ServingClosedError,
     collate_requests,
 )
-from repro.serve.client import ServingClient
+from repro.serve.client import RetryPolicy, ServingClient
 from repro.serve.engine import ServingEngine
 from repro.serve.predictor import Predictor
 from repro.serve.protocol import ProtocolError, RemoteServingError
 from repro.serve.registry import ModelRegistry
-from repro.serve.server import AsyncServingServer, OverloadedError, ServerThread
+from repro.serve.server import (
+    AsyncServingServer,
+    OverloadedError,
+    Router,
+    ServerThread,
+)
 from repro.serve.streaming import StreamingWindows
 
 __all__ = [
@@ -57,6 +64,8 @@ __all__ = [
     "Predictor",
     "ProtocolError",
     "RemoteServingError",
+    "RetryPolicy",
+    "Router",
     "ServerThread",
     "ServingClient",
     "ServingClosedError",

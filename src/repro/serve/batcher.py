@@ -375,20 +375,29 @@ class MicroBatcher:
                     chunks.append(self._pop_chunk_locked(len(self._pending)))
             return chunks
 
-    def run_chunk(self, chunk: FlushChunk) -> list[PendingPrediction]:
+    def run_chunk(
+        self, chunk: FlushChunk, predictor: Predictor | None = None
+    ) -> list[PendingPrediction]:
         """Execute one popped chunk: collate, predict, fulfil its handles.
 
         Runs without the queue lock (the chunk is owned by the caller), so it
         is safe to call from a worker thread while the event loop keeps
-        accepting submissions.  On failure every handle in the chunk gets the
-        exception as its *terminal* error — externally-driven flushes never
-        requeue, a poisoned batch must not retry forever — and the exception
-        propagates so the scheduler can log it.
+        accepting submissions.  ``predictor`` overrides the batcher's own —
+        the replica-routing server runs chunks from one shared queue on
+        whichever replica the router picked; replicas are numerically
+        identical, so the per-flush RNG derivation keeps the result (and its
+        offline replay) independent of the choice.  On failure every handle
+        in the chunk gets the exception as its *terminal* error —
+        externally-driven flushes never requeue, a poisoned batch must not
+        retry forever — and the exception propagates so the scheduler can
+        log it.
         """
         if not chunk.handles:
             return []
         try:
-            samples = self._predict([h.request for h in chunk.handles], chunk.batch_id)
+            samples = self._predict(
+                [h.request for h in chunk.handles], chunk.batch_id, predictor
+            )
         except BaseException as error:
             for handle in chunk.handles:
                 handle._set_error(error)
@@ -439,15 +448,21 @@ class MicroBatcher:
             return self.rng
         return np.random.default_rng((self.seed_per_flush, batch_id))
 
-    def _predict(self, requests: list[PredictRequest], batch_id: int) -> np.ndarray:
+    def _predict(
+        self,
+        requests: list[PredictRequest],
+        batch_id: int,
+        predictor: Predictor | None = None,
+    ) -> np.ndarray:
+        predictor = self.predictor if predictor is None else predictor
         batch = collate_requests(
             requests,
-            pred_len=self.predictor.pred_len,
+            pred_len=predictor.pred_len,
             max_neighbours=self.max_neighbours,
         )
         # One padded batch through the vectorized hot path — never a
         # Python loop over requests.
-        return self.predictor.predict_world(
+        return predictor.predict_world(
             batch, self.num_samples, self._flush_rng(batch_id)
         )
 

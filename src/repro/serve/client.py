@@ -1,14 +1,34 @@
 """Synchronous client for the network serving front-end.
 
-:class:`ServingClient` speaks the length-prefixed JSON protocol of
+:class:`ServingClient` speaks the length-prefixed protocol of
 :mod:`repro.serve.protocol` over a plain blocking socket — the shape most
 consumers (tests, the ``bench_server`` load generator, batch jobs, the demo)
 want.  One call = one request frame + one response frame; failed responses
 raise :class:`~repro.serve.protocol.RemoteServingError` carrying the typed
-error code (``overloaded``, ``shutting_down``, ...), so callers can
-implement retry/backoff against admission control.
+error code (``overloaded``, ``shutting_down``, ...).
 
->>> with ServingClient.connect(host, port) as client:
+Three serving-hardening features layer on top of the bare round trip:
+
+* **Poisoning** — any transport failure mid-call (``socket.timeout``, a
+  dropped connection, a framing error) leaves a response frame potentially
+  in flight, so the stream can no longer be trusted: the client marks
+  itself *poisoned* and every later call fails fast with
+  :class:`~repro.serve.protocol.ProtocolError` until :meth:`reconnect`
+  (otherwise the next call would read the stale frame and every exchange
+  after it would be off by one).
+* **Retry/backoff** — an optional :class:`RetryPolicy` retries calls
+  rejected by admission control (``overloaded``) with exponential backoff
+  plus seeded jitter, and transparently reconnects-and-retries after
+  transport failures.  ``bad_request`` and other non-transient errors are
+  never retried.
+* **Binary payloads** — ``binary=True`` negotiates nothing by itself; it
+  makes the client send protocol-v2 binary frames (``obs``/``neighbours``
+  as raw float64 tails) and ask for binary responses (``samples`` as a raw
+  float32/float64 tail), cutting predict response bytes to well under half
+  of JSON for large ``K``.  Check :meth:`supports_binary` first when the
+  server version is unknown.
+
+>>> with ServingClient.connect(host, port, retry=RetryPolicy()) as client:
 ...     client.health()["status"]
 ...     result = client.predict("adaptraj", obs)   # [K, pred_len, 2]
 """
@@ -16,13 +36,73 @@ implement retry/backoff against admission control.
 from __future__ import annotations
 
 import socket
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.serve import protocol
 from repro.serve.protocol import ProtocolError, RemoteServingError
 
-__all__ = ["ServingClient"]
+__all__ = ["RetryPolicy", "ServingClient"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter for transient serving errors.
+
+    A call is retried only when it can plausibly succeed on retry:
+
+    * ``overloaded`` responses — admission control shed the request; back
+      off and resubmit on the same connection;
+    * transport failures (timeout, dropped/poisoned connection, framing
+      error) — reconnect first, then resubmit (``reconnect=True``) — but
+      only for **stateless** operations.  ``observe`` and frame-mode
+      ``predict`` depend on this connection's streaming windows, which a
+      reconnect silently resets; those raise instead, so the caller knows
+      to rebuild its observation state.
+
+    Everything else (``bad_request``, ``unknown_model``, an oversized
+    request rejected before any byte was sent, ...) raises immediately:
+    retrying a malformed request cannot help.
+
+    Attributes
+    ----------
+    retries : additional attempts after the first (0 disables retrying).
+    base_delay : backoff before the first retry, seconds.
+    multiplier : backoff growth per retry (``base * multiplier ** n``).
+    max_delay : cap on a single backoff sleep, seconds.
+    jitter : fraction of each delay randomized away (0 = deterministic,
+        0.5 = sleep uniformly in [0.5, 1.0] x delay).  Driven by a seeded
+        RNG so a client's retry schedule is reproducible.
+    seed : seed of the jitter RNG.
+    reconnect : also retry transport failures by reconnecting; requires the
+        client to know its address (it does when built via :meth:`connect`).
+    """
+
+    retries: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    reconnect: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered via ``rng``."""
+        delay = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        return delay * (1.0 - self.jitter * float(rng.random()))
 
 
 class ServingClient:
@@ -31,20 +111,75 @@ class ServingClient:
     Not thread-safe: a client instance owns its socket and its correlation-id
     counter.  Concurrent load generators open one client per thread (which is
     also what exercises the server's cross-connection batching).
+
+    ``bytes_sent`` / ``bytes_received`` / ``last_response_bytes`` account
+    whole frames (header included) — the observability hook the
+    binary-payload benchmark gate reads.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        address: tuple[str, int] | None = None,
+        timeout: float | None = None,
+        binary: bool = False,
+        dtype: str = "f4",
+        version: int = protocol.PROTOCOL_VERSION,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if dtype not in ("f4", "f8"):
+            raise ValueError(f"dtype must be 'f4' or 'f8', got {dtype!r}")
+        if version not in protocol.SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported protocol version {version!r}")
         self._sock = sock
+        self._address = address
+        self._timeout = timeout
         self._next_id = 0
+        self.binary = binary
+        self.dtype = dtype
+        #: Envelope version stamped on requests.  ``version=1`` makes this
+        #: client speak pure v1 (accepted by v1 and v2 servers alike) — the
+        #: downgrade path when the server generation is unknown.
+        self.version = version
+        self.retry = retry
+        self._sleep = sleep
+        self._retry_rng = np.random.default_rng(retry.seed if retry else 0)
+        self._poisoned: BaseException | None = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.last_response_bytes = 0
 
     @classmethod
     def connect(
-        cls, host: str, port: int, timeout: float | None = 30.0
+        cls,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        *,
+        binary: bool = False,
+        dtype: str = "f4",
+        version: int = protocol.PROTOCOL_VERSION,
+        retry: RetryPolicy | None = None,
     ) -> ServingClient:
         """Open a connection to a running :class:`AsyncServingServer`."""
-        sock = socket.create_connection((host, port), timeout=timeout)
+        sock = cls._open((host, port), timeout)
+        return cls(
+            sock,
+            address=(host, port),
+            timeout=timeout,
+            binary=binary,
+            dtype=dtype,
+            version=version,
+            retry=retry,
+        )
+
+    @staticmethod
+    def _open(address: tuple[str, int], timeout: float | None) -> socket.socket:
+        sock = socket.create_connection(address, timeout=timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return cls(sock)
+        return sock
 
     def close(self) -> None:
         self._sock.close()
@@ -56,25 +191,124 @@ class ServingClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # Connection state
+    # ------------------------------------------------------------------
+    @property
+    def poisoned(self) -> bool:
+        """True after a transport failure desynchronized the stream."""
+        return self._poisoned is not None
+
+    def reconnect(self) -> None:
+        """Drop the (possibly poisoned) connection and open a fresh one.
+
+        The stale socket — and any late response frame still buffered in it —
+        is discarded, so request/response pairing starts clean.  Requires the
+        client to have been built via :meth:`connect` (address known).
+        """
+        if self._address is None:
+            raise ProtocolError(
+                "cannot reconnect: this client wraps a raw socket with no "
+                "known address"
+            )
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = self._open(self._address, self._timeout)
+        self._poisoned = None
+
+    def _poison(self, error: BaseException) -> None:
+        self._poisoned = error
+
+    # ------------------------------------------------------------------
     # Core round trip
     # ------------------------------------------------------------------
     def call(self, op: str, **fields) -> dict:
         """One request/response round trip; returns the ``result`` object.
 
         Raises :class:`RemoteServingError` for ``ok: false`` responses and
-        :class:`ProtocolError` if the stream framing breaks.
+        :class:`ProtocolError` if the stream framing breaks or the client is
+        poisoned.  With a :class:`RetryPolicy`, ``overloaded`` responses and
+        transport failures are retried — the latter via reconnect, and only
+        for operations that carry no connection-scoped state (a reconnect
+        resets this connection's streaming windows on the server, so a
+        failed ``observe`` / frame-mode ``predict`` surfaces instead of
+        silently losing the observation history).
         """
+        # Connection-scoped state: these ops read/write the per-connection
+        # streaming windows, which do not survive a reconnect.
+        stateful = op == "observe" or (op == "predict" and "frame" in fields)
+        attempt = 0
+        while True:
+            try:
+                if self._poisoned is not None:
+                    if self.retry is not None and self.retry.reconnect:
+                        self.reconnect()
+                    else:
+                        raise ProtocolError(
+                            "connection poisoned by an earlier transport error "
+                            f"({type(self._poisoned).__name__}: {self._poisoned}); "
+                            "a late response frame may still be in flight — "
+                            "call reconnect()"
+                        )
+                return self._call_once(op, fields)
+            except RemoteServingError as error:
+                transient = error.code == protocol.E_OVERLOADED
+                if not transient or not self._retry_left(attempt):
+                    raise
+            except (ProtocolError, OSError):
+                # Reconnect-and-resend is correct only when the connection
+                # actually broke (poisoned) on a stateless call.  Errors
+                # raised *before* any byte went out (e.g. an oversized
+                # request frame refused by the encoder) leave the stream
+                # healthy and are deterministic — never retried.
+                if (
+                    not self.poisoned
+                    or stateful
+                    or self.retry is None
+                    or not self.retry.reconnect
+                    or self._address is None
+                    or not self._retry_left(attempt)
+                ):
+                    raise
+            self._sleep(self.retry.delay(attempt, self._retry_rng))
+            attempt += 1
+
+    def _retry_left(self, attempt: int) -> bool:
+        return self.retry is not None and attempt < self.retry.retries
+
+    def _call_once(self, op: str, fields: dict) -> dict:
         self._next_id += 1
         req_id = self._next_id
-        protocol.write_frame_sync(self._sock, protocol.request(op, req_id, **fields))
-        response = protocol.read_frame_sync(self._sock)
+        message = {"v": self.version, "id": req_id, "op": op, **fields}
+        if self.binary:
+            message["bin"] = True
+            message["dtype"] = self.dtype
+            frame = protocol.encode_frame_auto(message)
+        else:
+            frame = protocol.encode_frame(message)
+        try:
+            self._sock.sendall(frame)
+            response, nbytes = protocol.read_frame_sync_ex(self._sock)
+        except (ProtocolError, OSError) as error:
+            # The exchange died mid-flight: a late response may still arrive
+            # on this socket, so request/response pairing is gone for good.
+            self._poison(error)
+            raise
+        self.bytes_sent += len(frame)
+        self.bytes_received += nbytes
+        self.last_response_bytes = nbytes
         if response is None:
-            raise ProtocolError("server closed the connection before responding")
+            error = ProtocolError("server closed the connection before responding")
+            self._poison(error)
+            raise error
         if response.get("id") != req_id:
-            raise ProtocolError(
+            error = ProtocolError(
                 f"response id {response.get('id')!r} does not match request "
                 f"id {req_id} (this client is strictly request/response)"
             )
+            self._poison(error)
+            raise error
         if response.get("ok"):
             return response.get("result", {})
         error = response.get("error") or {}
@@ -87,8 +321,24 @@ class ServingClient:
     # Operations
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        """Server liveness: status, protocol version, model names, uptime."""
+        """Server liveness: status, protocol versions, model names, uptime."""
         return self.call("health")
+
+    def supports_binary(self) -> bool:
+        """Whether the server negotiates the v2 binary frame encoding.
+
+        The probe goes out as a plain v1 JSON health request — the one
+        envelope every server generation accepts — so against a v1-only
+        server this returns ``False`` instead of raising
+        ``unsupported_version``.
+        """
+        saved = self.version
+        self.version = 1
+        try:
+            health = self.health()
+        finally:
+            self.version = saved
+        return bool(health.get("binary")) or health.get("protocol", 1) >= 2
 
     def stats(self) -> dict:
         """Server and per-model counters (queue depth, latency, overloads)."""
@@ -122,9 +372,11 @@ class ServingClient:
         the server-side ``batch_id`` / ``row`` / ``batch_size`` this request
         was coalesced into (the replay hook of the equivalence gate).
         """
-        fields: dict = {"model": model, "obs": np.asarray(obs).tolist()}
+        obs = np.asarray(obs, dtype=np.float64)
+        fields: dict = {"model": model, "obs": obs if self.binary else obs.tolist()}
         if neighbours is not None and len(neighbours):
-            fields["neighbours"] = np.asarray(neighbours).tolist()
+            neighbours = np.asarray(neighbours, dtype=np.float64)
+            fields["neighbours"] = neighbours if self.binary else neighbours.tolist()
         if domain_id:
             fields["domain_id"] = int(domain_id)
         result = self.call("predict", **fields)

@@ -39,18 +39,23 @@ class ServingEngine:
         max_wait: float = 0.0,
         max_neighbours: int | None = None,
         rng: np.random.Generator | int | None = 0,
+        seed_per_flush: int | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.predictor = predictor
         self.windows = StreamingWindows(
             obs_len=predictor.obs_len, max_neighbours=max_neighbours
         )
+        # ``seed_per_flush`` opts the in-process engine into the same
+        # per-batch RNG derivation the network server uses, making its
+        # served batches replayable from ``(seed, batch_id)`` alone.
         self.batcher = MicroBatcher(
             predictor,
             num_samples=num_samples,
             max_batch_size=max_batch_size,
             max_wait=max_wait,
             rng=rng,
+            seed_per_flush=seed_per_flush,
             clock=clock,
         )
 

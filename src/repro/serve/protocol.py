@@ -1,4 +1,4 @@
-"""Wire protocol for the network serving front-end: length-prefixed JSON.
+"""Wire protocol for the network serving front-end: length-prefixed frames.
 
 Framing
 -------
@@ -8,24 +8,46 @@ Every message — request or response, either direction — is one *frame*:
 
     +----------------+---------------------------+
     | 4 bytes        | <length> bytes            |
-    | big-endian u32 | UTF-8 JSON object         |
+    | big-endian u32 | payload                   |
     +----------------+---------------------------+
 
-The length covers the JSON payload only (not the header).  Frames larger
-than :data:`MAX_FRAME_BYTES` are rejected on both ends — a corrupt or
-malicious length prefix must not make a peer allocate unbounded memory.
+The length covers the payload only (not the header).  Frames larger than
+:data:`MAX_FRAME_BYTES` are rejected on both ends — a corrupt or malicious
+length prefix must not make a peer allocate unbounded memory.
+
+The payload's first byte is its **kind**:
+
+* ``0x7B`` (``"{"``) — a pure UTF-8 JSON object (protocol v1; every v1
+  frame ever sent is byte-identical under v2 and still accepted end-to-end);
+* ``0x02`` (:data:`KIND_BINARY`) — protocol v2 binary: a JSON *envelope*
+  plus a raw little-endian float32/float64 tensor tail for the large array
+  fields (``obs`` / ``neighbours`` / ``samples``), avoiding JSON encoding of
+  ``[K, pred_len, 2]`` sample tensors::
+
+    +------+----------------+-------------------+---------------------+
+    | 0x02 | 4 bytes        | <elen> bytes      | remainder           |
+    | kind | big-endian u32 | UTF-8 JSON        | tensor tail (raw    |
+    | byte | envelope len   | envelope          | little-endian data) |
+    +------+----------------+-------------------+---------------------+
+
+  In the envelope, each extracted array is replaced by a placeholder object
+  ``{"__tensor__": {"dtype": "<f4"|"<f8", "shape": [...], "offset": o,
+  "nbytes": n}}`` whose ``offset``/``nbytes`` locate its bytes in the tail.
+  Peers negotiate the binary encoding via ``health`` (see docs/serving.md
+  §"Version negotiation"); a server only answers in binary when the request
+  asked for it, so a v1 peer never receives a binary frame.
 
 Messages
 --------
 Requests carry a protocol version, a caller-chosen correlation id, and an
 operation name::
 
-    {"v": 1, "id": 7, "op": "predict", "model": "adaptraj", "obs": [[x, y], ...]}
+    {"v": 2, "id": 7, "op": "predict", "model": "adaptraj", "obs": [[x, y], ...]}
 
 Responses echo the id and report success or a typed error::
 
-    {"v": 1, "id": 7, "ok": true,  "result": {...}}
-    {"v": 1, "id": 7, "ok": false, "error": {"code": "overloaded", "message": "..."}}
+    {"v": 2, "id": 7, "ok": true,  "result": {...}}
+    {"v": 2, "id": 7, "ok": false, "error": {"code": "overloaded", "message": "..."}}
 
 The full schema of every operation (``observe`` / ``predict`` / ``flush`` /
 ``stats`` / ``health``), the error-code table, and the backpressure
@@ -39,13 +61,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import socket
 import struct
 
+import numpy as np
+
 __all__ = [
+    "KIND_BINARY",
     "MAX_FRAME_BYTES",
     "OPERATIONS",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "TENSOR_DTYPES",
     "E_BAD_REQUEST",
     "E_INTERNAL",
     "E_OVERLOADED",
@@ -56,29 +84,48 @@ __all__ = [
     "ProtocolError",
     "RemoteServingError",
     "decode_payload",
+    "encode_binary_frame",
     "encode_frame",
+    "encode_frame_auto",
     "error_response",
     "ok_response",
     "read_frame",
     "read_frame_sync",
+    "read_frame_sync_ex",
     "request",
     "validate_request",
     "write_frame",
     "write_frame_sync",
 ]
 
-#: Version of the request/response schema.  Bump on incompatible changes;
-#: the server rejects mismatched requests with ``unsupported_version``.
-PROTOCOL_VERSION = 1
+#: Version of the request/response schema.  v2 adds the binary frame kind;
+#: the message schema is unchanged, so v1 requests are still accepted
+#: (see :data:`SUPPORTED_VERSIONS`).
+PROTOCOL_VERSION = 2
 
-#: Hard cap on a single frame's JSON payload (requests and responses).
+#: Versions a server accepts; anything else is ``unsupported_version``.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Hard cap on a single frame's payload (requests and responses, either kind).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 #: Operations the protocol defines (the server may still not accept all of
 #: them for a given model — see docs/serving.md).
 OPERATIONS = ("observe", "predict", "flush", "stats", "health")
 
+#: Kind byte opening a binary (envelope + tensor tail) payload.  JSON
+#: payloads are recognized by their opening ``{`` (0x7B); 0x02 can never
+#: start valid JSON, so the two kinds are unambiguous.
+KIND_BINARY = 0x02
+
+#: Tensor tail dtypes the binary encoding admits (little-endian on the wire).
+TENSOR_DTYPES = ("<f4", "<f8")
+
+#: Envelope key marking an extracted tensor; reserved in binary envelopes.
+_TENSOR_KEY = "__tensor__"
+
 _HEADER = struct.Struct(">I")
+_ENVELOPE_LEN = struct.Struct(">I")
 
 # Error codes (the ``error.code`` field of a failed response).
 E_BAD_REQUEST = "bad_request"  #: malformed frame / missing or invalid fields
@@ -115,7 +162,7 @@ class RemoteServingError(RuntimeError):
 # Framing
 # ----------------------------------------------------------------------
 def encode_frame(message: dict) -> bytes:
-    """Serialize one message to ``header + UTF-8 JSON`` bytes."""
+    """Serialize one message to ``header + UTF-8 JSON`` bytes (JSON kind)."""
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
@@ -125,8 +172,86 @@ def encode_frame(message: dict) -> bytes:
     return _HEADER.pack(len(payload)) + payload
 
 
-def decode_payload(payload: bytes) -> dict:
-    """Parse one frame's JSON payload; the top level must be an object."""
+def _extract_tensors(value, tail: list[bytes], offset: list[int]):
+    """Replace ndarray leaves with tail placeholders, depth-first."""
+    if isinstance(value, np.ndarray):
+        if value.dtype.char not in ("f", "d"):
+            raise ProtocolError(
+                f"binary tensor tails carry float32/float64 only, "
+                f"got dtype {value.dtype}"
+            )
+        dtype = "<f4" if value.dtype.char == "f" else "<f8"
+        data = np.ascontiguousarray(value, dtype=dtype).tobytes()
+        placeholder = {
+            _TENSOR_KEY: {
+                "dtype": dtype,
+                "shape": list(value.shape),
+                "offset": offset[0],
+                "nbytes": len(data),
+            }
+        }
+        tail.append(data)
+        offset[0] += len(data)
+        return placeholder
+    if isinstance(value, dict):
+        if _TENSOR_KEY in value:
+            raise ProtocolError(
+                f"message uses the reserved envelope key {_TENSOR_KEY!r}"
+            )
+        return {key: _extract_tensors(item, tail, offset) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_extract_tensors(item, tail, offset) for item in value]
+    return value
+
+
+def encode_binary_frame(message: dict) -> bytes:
+    """Serialize one message to a binary (envelope + tensor tail) frame.
+
+    Every :class:`numpy.ndarray` in the message (any nesting depth) is moved
+    to the raw little-endian tail and replaced by a placeholder; everything
+    else stays JSON in the envelope.  Valid with zero tensors, but
+    :func:`encode_frame_auto` is the usual entry point — it only pays the
+    binary overhead when there is a tensor to carry.
+    """
+    tail: list[bytes] = []
+    envelope_message = _extract_tensors(message, tail, [0])
+    envelope = json.dumps(envelope_message, separators=(",", ":")).encode("utf-8")
+    tail_bytes = b"".join(tail)
+    total = 1 + _ENVELOPE_LEN.size + len(envelope) + len(tail_bytes)
+    if total > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {total} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return b"".join(
+        (
+            _HEADER.pack(total),
+            bytes((KIND_BINARY,)),
+            _ENVELOPE_LEN.pack(len(envelope)),
+            envelope,
+            tail_bytes,
+        )
+    )
+
+
+def encode_frame_auto(message: dict) -> bytes:
+    """Encode as a binary frame iff the message carries ndarrays, else JSON."""
+    if _has_tensor(message):
+        return encode_binary_frame(message)
+    return encode_frame(message)
+
+
+def _has_tensor(value) -> bool:
+    if isinstance(value, np.ndarray):
+        return True
+    if isinstance(value, dict):
+        return any(_has_tensor(item) for item in value.values())
+    if isinstance(value, (list, tuple)):
+        return any(_has_tensor(item) for item in value)
+    return False
+
+
+def _decode_json(payload: bytes) -> dict:
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -136,6 +261,77 @@ def decode_payload(payload: bytes) -> dict:
             f"frame payload must be a JSON object, got {type(message).__name__}"
         )
     return message
+
+
+def _resolve_tensor(descriptor, tail: bytes) -> np.ndarray:
+    if not isinstance(descriptor, dict):
+        raise ProtocolError(f"malformed tensor placeholder: {descriptor!r}")
+    dtype = descriptor.get("dtype")
+    shape = descriptor.get("shape")
+    offset = descriptor.get("offset")
+    nbytes = descriptor.get("nbytes")
+    if dtype not in TENSOR_DTYPES:
+        raise ProtocolError(f"tensor dtype must be one of {TENSOR_DTYPES}, got {dtype!r}")
+    if (
+        not isinstance(shape, list)
+        or not all(isinstance(dim, int) and dim >= 0 for dim in shape)
+    ):
+        raise ProtocolError(f"tensor shape must be non-negative ints, got {shape!r}")
+    if not isinstance(offset, int) or not isinstance(nbytes, int):
+        raise ProtocolError("tensor offset/nbytes must be integers")
+    itemsize = int(dtype[-1])
+    expected = math.prod(shape) * itemsize
+    if nbytes != expected:
+        raise ProtocolError(
+            f"tensor tail length {nbytes} does not match shape {shape} "
+            f"({expected} bytes expected)"
+        )
+    if offset < 0 or offset + nbytes > len(tail):
+        raise ProtocolError(
+            f"tensor bytes [{offset}, {offset + nbytes}) fall outside the "
+            f"{len(tail)}-byte tail"
+        )
+    # Copy out of the frame buffer: the result must be writable and must not
+    # pin the whole received payload alive.
+    array = np.frombuffer(tail, dtype=np.dtype(dtype), count=math.prod(shape), offset=offset)
+    return array.reshape(shape).copy()
+
+
+def _resolve_tensors(value, tail: bytes):
+    if isinstance(value, dict):
+        if set(value) == {_TENSOR_KEY}:
+            return _resolve_tensor(value[_TENSOR_KEY], tail)
+        return {key: _resolve_tensors(item, tail) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_resolve_tensors(item, tail) for item in value]
+    return value
+
+
+def _decode_binary(payload: bytes) -> dict:
+    if len(payload) < 1 + _ENVELOPE_LEN.size:
+        raise ProtocolError("binary frame too short for its envelope header")
+    (envelope_len,) = _ENVELOPE_LEN.unpack_from(payload, 1)
+    body_start = 1 + _ENVELOPE_LEN.size
+    if body_start + envelope_len > len(payload):
+        raise ProtocolError(
+            f"binary envelope of {envelope_len} bytes overruns the "
+            f"{len(payload)}-byte payload"
+        )
+    message = _decode_json(payload[body_start : body_start + envelope_len])
+    tail = payload[body_start + envelope_len :]
+    return _resolve_tensors(message, tail)
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame's payload, dispatching on its kind byte.
+
+    JSON payloads (opening ``{``) decode exactly as in protocol v1; binary
+    payloads (:data:`KIND_BINARY`) decode their envelope and re-attach each
+    tensor-tail segment as a :class:`numpy.ndarray` at its placeholder.
+    """
+    if payload[:1] == bytes((KIND_BINARY,)):
+        return _decode_binary(payload)
+    return _decode_json(payload)
 
 
 def _check_length(length: int) -> None:
@@ -183,15 +379,24 @@ def _recv_exactly(sock: socket.socket, length: int) -> bytes | None:
 
 def read_frame_sync(sock: socket.socket) -> dict | None:
     """Blocking counterpart of :func:`read_frame` for the sync client."""
+    return read_frame_sync_ex(sock)[0]
+
+
+def read_frame_sync_ex(sock: socket.socket) -> tuple[dict | None, int]:
+    """Like :func:`read_frame_sync`, also returning the frame's total bytes.
+
+    The byte count includes the 4-byte header; it is what the client's
+    transfer accounting (and the binary-vs-JSON payload benchmark) reports.
+    """
     header = _recv_exactly(sock, _HEADER.size)
     if header is None:
-        return None
+        return None, 0
     (length,) = _HEADER.unpack(header)
     _check_length(length)
     payload = _recv_exactly(sock, length)
     if payload is None:
         raise ProtocolError("connection closed mid-frame")
-    return decode_payload(payload)
+    return decode_payload(payload), _HEADER.size + length
 
 
 def write_frame_sync(sock: socket.socket, message: dict) -> None:
@@ -232,10 +437,10 @@ def validate_request(message: dict) -> tuple[str, object]:
     if req_id is None or isinstance(req_id, (dict, list, bool)):
         raise ProtocolError("request has no usable 'id' field", E_BAD_REQUEST)
     version = message.get("v")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"protocol version {version!r} not supported (server speaks "
-            f"{PROTOCOL_VERSION})",
+            f"{', '.join(map(str, SUPPORTED_VERSIONS))})",
             E_UNSUPPORTED_VERSION,
         )
     op = message.get("op")

@@ -54,13 +54,20 @@ class ModelRegistry:
         return os.path.join(self._model_dir(name), f"v{int(version)}.npz")
 
     def models(self) -> list[str]:
-        """Registered model names (directories with at least one version)."""
+        """Registered model names (directories with at least one version).
+
+        Entries whose name could never have been published (``.tmp``
+        scratch dirs, editor droppings, anything failing the model-name
+        grammar) are skipped, not errors — a stray directory in the root
+        must not take down listing.
+        """
         if not os.path.isdir(self.root):
             return []
         return sorted(
             entry
             for entry in os.listdir(self.root)
-            if os.path.isdir(os.path.join(self.root, entry))
+            if _NAME_RE.match(entry)
+            and os.path.isdir(os.path.join(self.root, entry))
             and self.versions(entry)
         )
 
@@ -88,7 +95,14 @@ class ModelRegistry:
     def publish(
         self, name: str, method: LearningMethod, version: int | None = None
     ) -> int:
-        """Write ``method``'s weights + spec as a new (or given) version."""
+        """Write ``method``'s weights + spec as a new (or given) version.
+
+        The checkpoint is written to a temp file and moved into place with
+        ``os.replace`` (the same atomicity invariant as the dataset disk
+        cache, docs/architecture.md §2): a crash mid-save can never leave a
+        truncated ``v<N>.npz`` for ``latest_version()`` to select — the
+        version either exists complete or not at all.
+        """
         if version is None:
             existing = self.versions(name)
             version = existing[-1] + 1 if existing else 1
@@ -103,7 +117,15 @@ class ModelRegistry:
         }
         directory = self._model_dir(name)
         os.makedirs(directory, exist_ok=True)
-        save_checkpoint(self.path(name, version), method.module().state_dict(), config=config)
+        # The temp name must end in ".npz" (numpy appends it otherwise) and
+        # must not match the version pattern while partially written.
+        tmp = os.path.join(directory, f".v{int(version)}-{os.getpid()}.tmp.npz")
+        try:
+            save_checkpoint(tmp, method.module().state_dict(), config=config)
+            os.replace(tmp, self.path(name, version))
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
         return version
 
     def load_method(

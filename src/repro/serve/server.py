@@ -11,9 +11,18 @@ state; model forwards never run on it:
   in externally-driven mode: requests from all connections coalesce in one
   queue, a background flush loop (plus a drain after every submit) pops due
   work with ``take_ready`` and executes it via ``run_chunk`` on a bounded
-  :class:`~concurrent.futures.ThreadPoolExecutor`.  While a model is mid
-  flush, partial batches are withheld, so backpressure turns a convoy of
-  single requests into genuinely coalesced batches (adaptive batching).
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  While every replica of a
+  model is mid flush, partial batches are withheld, so backpressure turns a
+  convoy of single requests into genuinely coalesced batches (adaptive
+  batching).
+* **Replica routing** — a model may be registered with N replicas (the same
+  checkpoint loaded N times, optionally with routing weights); a
+  :class:`Router` assigns each popped flush chunk to the weighted
+  least-in-flight replica, so flushes of one model overlap across replicas
+  while each individual module tree stays single-threaded.  The queue —
+  and with it ``batch_id`` assignment and the per-flush RNG derivation —
+  stays *shared per model*, so the offline replay invariant is untouched by
+  which replica ran a batch.
 * **Admission control** — a configurable cap on in-flight predictions; work
   beyond it is fast-failed with an ``overloaded`` response instead of being
   queued without bound.  Queue depth, in-flight peaks, and per-model latency
@@ -57,11 +66,67 @@ from repro.serve.predictor import Predictor
 from repro.serve.protocol import ProtocolError
 from repro.serve.streaming import StreamingWindows
 
-__all__ = ["AsyncServingServer", "OverloadedError", "ServerThread"]
+__all__ = ["AsyncServingServer", "OverloadedError", "Router", "ServerThread"]
 
 
 class OverloadedError(RuntimeError):
     """Raised when admission control rejects work (answered as ``overloaded``)."""
+
+
+class _Replica:
+    """One copy of a model: its own module tree, flush lock, and counters.
+
+    ``active`` counts chunks routed here and not yet finished (scheduled or
+    running); it is both the router's load signal and, summed over replicas,
+    the model's "busy" signal for adaptive batching.  The asyncio lock
+    serializes flushes *per replica* — ``inference_mode`` training-flag
+    save/restore is per-module state, so one module tree must never run on
+    two threads, but distinct replicas (and distinct models) overlap freely
+    on the worker pool.
+    """
+
+    __slots__ = ("index", "predictor", "weight", "lock", "active", "chunks", "completed")
+
+    def __init__(self, index: int, predictor: Predictor, weight: float) -> None:
+        self.index = index
+        self.predictor = predictor
+        self.weight = weight
+        self.lock = asyncio.Lock()
+        self.active = 0
+        self.chunks = 0
+        self.completed = 0
+
+
+class Router:
+    """Weighted least-in-flight routing over a model's replicas.
+
+    Picks the replica minimizing ``active / weight`` (ties broken by lowest
+    index, so routing is deterministic given the load state).  A replica
+    with weight 2 is treated as half as loaded at equal in-flight depth and
+    therefore absorbs roughly twice the chunks of a weight-1 sibling under
+    saturation.  Routing never affects results: replicas are numerically
+    identical and every chunk's noise derives from ``(seed, batch_id)``
+    alone, so the replay invariant holds regardless of placement.
+    """
+
+    def __init__(self, replicas: list[_Replica]) -> None:
+        if not replicas:
+            raise ValueError("router needs at least one replica")
+        for replica in replicas:
+            if not replica.weight > 0:
+                raise ValueError(
+                    f"replica weights must be > 0, got {replica.weight!r}"
+                )
+        self.replicas = list(replicas)
+
+    def pick(self) -> _Replica:
+        """The replica the next chunk should run on."""
+        return min(self.replicas, key=lambda r: (r.active / r.weight, r.index))
+
+    @property
+    def idle(self) -> bool:
+        """True while at least one replica has no chunk scheduled/running."""
+        return any(replica.active == 0 for replica in self.replicas)
 
 
 def _require(message: dict, key: str, types: tuple[type, ...], what: str):
@@ -87,25 +152,29 @@ def _parse_array(value, shape_desc: str, ndim: int) -> np.ndarray:
 
 
 class _ModelWorker:
-    """Per-model scheduling state: batcher, flush serialization, futures.
+    """Per-model scheduling state: shared batcher, replicas, router, futures.
 
     Lives entirely on the event loop except for :meth:`MicroBatcher.run_chunk`,
-    which executes on the server's thread pool.  ``_flush_lock`` serializes
-    flushes *per model* — module training-flag save/restore inside
-    ``inference_mode`` is per-module state, so two threads must never run the
-    same model tree concurrently; different models flush in parallel.
+    which executes on the server's thread pool.  The batcher — queue,
+    ``batch_id`` assignment, per-flush RNG derivation — is **one per model**,
+    shared by all replicas; only chunk *execution* fans out, so served
+    batches replay offline identically no matter which replica ran them.
+    Each replica's asyncio lock serializes flushes on its module tree;
+    replicas (and different models) flush in parallel.
     """
 
-    def __init__(self, server: AsyncServingServer, name: str, batcher: MicroBatcher) -> None:
+    def __init__(
+        self,
+        server: AsyncServingServer,
+        name: str,
+        batcher: MicroBatcher,
+        replicas: list[_Replica],
+    ) -> None:
         self.server = server
         self.name = name
         self.batcher = batcher
-        self._flush_lock = asyncio.Lock()
-        # Chunks popped and scheduled but not yet finished.  This — not the
-        # lock — is the "model busy" signal for adaptive batching: a task
-        # that is created but has not yet acquired the lock must already
-        # count as busy, or a burst of submits pops a convoy of singles.
-        self._active_chunks = 0
+        self.replicas = replicas
+        self.router = Router(replicas)
         self._waiters: dict[PendingPrediction, tuple[asyncio.Future, float]] = {}
         # Latency accounting (submit -> resolve, event-loop clock).
         self.completed = 0
@@ -125,16 +194,14 @@ class _ModelWorker:
     def drain(self) -> None:
         """Pop due work and schedule it on the worker pool.
 
-        Full batches always pop.  Partial batches pop only while no flush of
-        this model is scheduled or running — under load the backlog
-        accumulates behind the busy model and pops as one coalesced batch
-        when it frees up (adaptive batching).
+        Full batches always pop.  Partial batches pop only while some
+        replica is idle — under load the backlog accumulates behind the busy
+        replicas and pops as one coalesced batch the moment one frees up
+        (adaptive batching).
         """
         if self.batcher.closed:
             return
-        self._schedule(
-            self.batcher.take_ready(allow_partial=self._active_chunks == 0)
-        )
+        self._schedule(self.batcher.take_ready(allow_partial=self.router.idle))
 
     def flush_now(self) -> int:
         """Force-pop everything pending (the ``flush`` operation)."""
@@ -146,22 +213,32 @@ class _ModelWorker:
 
     def _schedule(self, chunks: list[FlushChunk]) -> None:
         for chunk in chunks:
-            self._active_chunks += 1
+            # Route at schedule time and count the replica busy immediately —
+            # a task that has not yet acquired the replica lock must already
+            # register as load, or a burst of submits convoys onto one
+            # replica (and pops a convoy of partial singles).
+            replica = self.router.pick()
+            replica.active += 1
             self.server._track_task(
-                self.server._loop.create_task(self._run_chunk(chunk))
+                self.server._loop.create_task(self._run_chunk(chunk, replica))
             )
 
-    async def _run_chunk(self, chunk: FlushChunk) -> None:
+    async def _run_chunk(self, chunk: FlushChunk, replica: _Replica) -> None:
         try:
-            async with self._flush_lock:
+            async with replica.lock:
                 try:
                     await self.server._loop.run_in_executor(
-                        self.server._executor, self.batcher.run_chunk, chunk
+                        self.server._executor,
+                        self.batcher.run_chunk,
+                        chunk,
+                        replica.predictor,
                     )
+                    replica.completed += chunk.size
                 except Exception:
                     pass  # terminal errors already set on the handles
         finally:
-            self._active_chunks -= 1
+            replica.active -= 1
+            replica.chunks += 1
             for handle in chunk.handles:
                 self._resolve(handle)
             # A flush just finished: anything that queued behind it may now
@@ -197,6 +274,15 @@ class _ModelWorker:
     def stats(self) -> dict:
         batcher = self.batcher
         return {
+            "replicas": [
+                {
+                    "weight": replica.weight,
+                    "active": replica.active,
+                    "chunks": replica.chunks,
+                    "completed": replica.completed,
+                }
+                for replica in self.replicas
+            ],
             "pending": batcher.pending_count,
             "total_requests": batcher.total_requests,
             "total_batches": batcher.total_batches,
@@ -227,9 +313,11 @@ class _Connection:
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
 
     async def send(self, message: dict) -> None:
+        # Messages still holding ndarrays go out as binary (v2) frames;
+        # handlers only leave arrays in when the request asked for binary.
         async with self.write_lock:
             try:
-                protocol.write_frame(self.writer, message)
+                self.writer.write(protocol.encode_frame_auto(message))
                 await self.writer.drain()
             except (ConnectionError, RuntimeError):
                 pass  # client went away; its in-flight work still resolves
@@ -246,8 +334,9 @@ class AsyncServingServer:
         accepted but not yet answered, across all models and connections.
         Work beyond the cap is fast-failed with ``overloaded``.
     workers : size of the thread pool running model forwards.  Forwards for
-        one model are serialized (module state is not thread-safe to share);
-        extra workers buy overlap across *different* models.
+        one *replica* are serialized (module state is not thread-safe to
+        share); extra workers buy overlap across different models and across
+        a model's replicas — size the pool to the total replica count.
     flush_interval : period of the background flush loop that releases
         partial batches once their ``max_wait`` expires (the max-wait timer
         lives here, not with the caller).
@@ -303,23 +392,49 @@ class AsyncServingServer:
     def add_model(
         self,
         name: str,
-        predictor: Predictor,
+        predictor: Predictor | list[Predictor] | tuple[Predictor, ...],
         *,
+        weights: list[float] | None = None,
         num_samples: int = 1,
         max_batch_size: int = 32,
         max_wait: float = 0.0,
         max_neighbours: int | None = None,
     ) -> None:
-        """Register ``predictor`` under ``name`` before :meth:`start`.
+        """Register one predictor — or a replica pool — under ``name``.
 
-        Each model gets its own externally-driven micro-batcher whose noise
-        is derived per flush from the server seed, so served outputs are
-        replayable offline regardless of scheduling.
+        ``predictor`` may be a single :class:`Predictor` or a sequence of
+        replicas (the same checkpoint loaded once per replica — each needs
+        its *own* module tree, module state is not thread-safe to share, and
+        replicas must be numerically identical or the replay invariant
+        breaks).  ``weights`` (default: all 1.0) bias the router's
+        least-in-flight choice; they shape load placement only, never
+        results.  All replicas share one externally-driven micro-batcher —
+        one queue, one ``batch_id`` sequence, noise derived per flush from
+        the server seed — so served outputs are replayable offline
+        regardless of scheduling *and* routing.
         """
         if name in self._models:
             raise ValueError(f"model {name!r} already registered")
+        predictors = (
+            list(predictor) if isinstance(predictor, (list, tuple)) else [predictor]
+        )
+        if not predictors:
+            raise ValueError(f"model {name!r} needs at least one replica")
+        if weights is None:
+            weights = [1.0] * len(predictors)
+        if len(weights) != len(predictors):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(predictors)} replicas"
+            )
+        trees = [id(getattr(p, "method", p)) for p in predictors]
+        if len(set(trees)) != len(trees):
+            raise ValueError(
+                "replicas must not share a predictor/module tree (module "
+                "state is not thread-safe); load the checkpoint once per "
+                "replica instead"
+            )
         batcher = MicroBatcher(
-            predictor,
+            predictors[0],
             num_samples=num_samples,
             max_batch_size=max_batch_size,
             max_wait=max_wait,
@@ -327,7 +442,11 @@ class AsyncServingServer:
             seed_per_flush=self.seed,
             auto_flush=False,
         )
-        self._models[name] = _ModelWorker(self, name, batcher)
+        replicas = [
+            _Replica(index, pred, float(weight))
+            for index, (pred, weight) in enumerate(zip(predictors, weights))
+        ]
+        self._models[name] = _ModelWorker(self, name, batcher, replicas)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -452,6 +571,18 @@ class AsyncServingServer:
     async def _handle_message(self, conn: _Connection, message: dict) -> None:
         raw_id = message.get("id")
         req_id = raw_id if isinstance(raw_id, (str, int, float)) else None
+        # Responses echo the requester's protocol version: a v1 peer keeps
+        # seeing v1 envelopes end to end.
+        reply_v = (
+            message.get("v")
+            if message.get("v") in protocol.SUPPORTED_VERSIONS
+            else protocol.PROTOCOL_VERSION
+        )
+
+        async def reply(response: dict) -> None:
+            response["v"] = reply_v
+            await conn.send(response)
+
         try:
             op, req_id = protocol.validate_request(message)
             # Read-only probes keep working while draining (a shedding
@@ -462,32 +593,32 @@ class AsyncServingServer:
             handler = getattr(self, f"_op_{op}")
             result = await handler(conn, message)
         except ProtocolError as error:
-            await conn.send(protocol.error_response(req_id, error.code, str(error)))
+            await reply(protocol.error_response(req_id, error.code, str(error)))
         except OverloadedError as error:
             self.rejected_overload += 1
-            await conn.send(
+            await reply(
                 protocol.error_response(req_id, protocol.E_OVERLOADED, str(error))
             )
         except ServingClosedError as error:
-            await conn.send(
+            await reply(
                 protocol.error_response(req_id, protocol.E_SHUTTING_DOWN, str(error))
             )
         except Exception as error:  # unexpected: typed as internal
             self.internal_errors += 1
-            await conn.send(
+            await reply(
                 protocol.error_response(
                     req_id, protocol.E_INTERNAL, f"{type(error).__name__}: {error}"
                 )
             )
         else:
             try:
-                await conn.send(protocol.ok_response(req_id, result))
+                await reply(protocol.ok_response(req_id, result))
             except ProtocolError as error:
                 # encode_frame refused (response over the frame cap) before
                 # any byte was written, so the stream is intact — answer
                 # with a typed error instead of leaving the id unanswered.
                 self.internal_errors += 1
-                await conn.send(
+                await reply(
                     protocol.error_response(
                         req_id, protocol.E_INTERNAL, f"response too large: {error}"
                     )
@@ -528,10 +659,28 @@ class AsyncServingServer:
         self.in_flight_peak = max(self.in_flight_peak, self.in_flight)
 
     @staticmethod
-    def _handle_payload(handle: PendingPrediction) -> dict:
+    def _wire_dtype(message: dict) -> str | None:
+        """The response tensor dtype, or None for a JSON (v1-style) response.
+
+        A request opts into binary responses with ``"bin": true`` (whatever
+        kind of frame it arrived in) and may pick the samples dtype with
+        ``"dtype"`` — ``"f4"`` (default; compact, exact to ~1e-7 at unit
+        scale) or ``"f8"`` (bit-exact).
+        """
+        if not message.get("bin"):
+            return None
+        dtype = message.get("dtype", "f4")
+        if dtype not in ("f4", "f8"):
+            raise ProtocolError(
+                f"'dtype' must be 'f4' or 'f8', got {dtype!r}", protocol.E_BAD_REQUEST
+            )
+        return "<" + dtype
+
+    @staticmethod
+    def _handle_payload(handle: PendingPrediction, wire_dtype: str | None) -> dict:
         samples = handle.result()  # re-raises the terminal error, if any
         return {
-            "samples": samples.tolist(),
+            "samples": samples.astype(wire_dtype) if wire_dtype else samples.tolist(),
             "meta": {
                 "batch_id": handle.batch_id,
                 "row": handle.batch_row,
@@ -543,6 +692,8 @@ class AsyncServingServer:
         return {
             "status": "shutting_down" if self._closing else "ok",
             "protocol": protocol.PROTOCOL_VERSION,
+            "protocols": list(protocol.SUPPORTED_VERSIONS),
+            "binary": True,
             "models": sorted(self._models),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
         }
@@ -605,12 +756,18 @@ class AsyncServingServer:
     async def _predict_explicit(
         self, conn: _Connection, worker: _ModelWorker, message: dict
     ) -> dict:
+        wire_dtype = self._wire_dtype(message)
         obs = _parse_array(message["obs"], "[obs_len, 2]", 2)
-        neighbours = (
-            _parse_array(message["neighbours"], "[N, obs_len, 2]", 3)
-            if message.get("neighbours")
-            else None
-        )
+        # NB: an explicit `is None`/size check — binary requests deliver
+        # `neighbours` as an ndarray, whose truthiness is ambiguous.
+        raw_neighbours = message.get("neighbours")
+        if raw_neighbours is None or (
+            isinstance(raw_neighbours, (list, tuple, np.ndarray))
+            and len(raw_neighbours) == 0
+        ):
+            neighbours = None
+        else:
+            neighbours = _parse_array(raw_neighbours, "[N, obs_len, 2]", 3)
         domain_id = message.get("domain_id", 0)
         if not isinstance(domain_id, int) or isinstance(domain_id, bool):
             raise ProtocolError("'domain_id' must be an integer", protocol.E_BAD_REQUEST)
@@ -633,11 +790,12 @@ class AsyncServingServer:
             self.accepted -= 1
             raise
         handle = await future
-        return self._handle_payload(handle)
+        return self._handle_payload(handle, wire_dtype)
 
     async def _predict_frame(
         self, conn: _Connection, worker: _ModelWorker, message: dict
     ) -> dict:
+        wire_dtype = self._wire_dtype(message)
         frame = int(_require(message, "frame", (int,), "an integer frame number"))
         windows = self._conn_windows(conn, worker)
         requests = windows.requests(frame)
@@ -656,7 +814,7 @@ class AsyncServingServer:
         handles = await asyncio.gather(*futures)
         return {
             "agents": {
-                str(request.request_id[0]): self._handle_payload(handle)
+                str(request.request_id[0]): self._handle_payload(handle, wire_dtype)
                 for request, handle in zip(requests, handles)
             }
         }
@@ -760,6 +918,12 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8707)
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="load each model this many times and route across the copies",
+    )
     parser.add_argument("--num-samples", type=int, default=1)
     parser.add_argument("--max-batch-size", type=int, default=32)
     parser.add_argument("--max-wait", type=float, default=0.0)
@@ -776,12 +940,16 @@ def main(argv: list[str] | None = None) -> None:
         workers=args.workers,
         seed=args.seed,
     )
+    if args.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {args.replicas}")
     for spec in args.model:
         name, _, version = spec.partition(":")
-        predictor = registry.load(name, int(version) if version else None)
+        resolved = int(version) if version else registry.latest_version(name)
+        # One load per replica: each copy needs its own module tree.
+        replicas = [registry.load(name, resolved) for _ in range(args.replicas)]
         server.add_model(
             name,
-            predictor,
+            replicas,
             num_samples=args.num_samples,
             max_batch_size=args.max_batch_size,
             max_wait=args.max_wait,

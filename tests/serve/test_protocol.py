@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import struct
 
+import numpy as np
 import pytest
 
 from repro.serve import protocol
@@ -107,3 +108,152 @@ class TestSyncFraming:
                 protocol.read_frame_sync(b)
         finally:
             b.close()
+
+
+class TestBinaryFraming:
+    """Protocol v2: kind-byte dispatch, envelope + tensor-tail round trips."""
+
+    @staticmethod
+    def make_message(dtype=np.float64):
+        rng = np.random.default_rng(0)
+        return {
+            "v": 2,
+            "id": 5,
+            "ok": True,
+            "result": {
+                "samples": rng.normal(size=(4, 12, 2)).astype(dtype),
+                "meta": {"batch_id": 3, "row": 0, "batch_size": 1},
+                "agents": [
+                    {"samples": rng.normal(size=(2, 3, 2)).astype(dtype)},
+                ],
+            },
+        }
+
+    def assert_messages_equal(self, decoded, original):
+        assert decoded["id"] == original["id"]
+        np.testing.assert_array_equal(
+            decoded["result"]["samples"], original["result"]["samples"]
+        )
+        np.testing.assert_array_equal(
+            decoded["result"]["agents"][0]["samples"],
+            original["result"]["agents"][0]["samples"],
+        )
+        assert decoded["result"]["meta"] == original["result"]["meta"]
+
+    def test_binary_round_trip_float64(self):
+        message = self.make_message(np.float64)
+        frame = protocol.encode_binary_frame(message)
+        assert frame[4] == protocol.KIND_BINARY
+        decoded = protocol.decode_payload(frame[4:])
+        assert decoded["result"]["samples"].dtype == np.float64
+        self.assert_messages_equal(decoded, message)
+
+    def test_binary_round_trip_float32(self):
+        message = self.make_message(np.float32)
+        decoded = protocol.decode_payload(protocol.encode_binary_frame(message)[4:])
+        assert decoded["result"]["samples"].dtype == np.float32
+        self.assert_messages_equal(decoded, message)
+
+    def test_decoded_tensors_are_writable_copies(self):
+        message = {"v": 2, "id": 1, "obs": np.ones((8, 2))}
+        decoded = protocol.decode_payload(protocol.encode_binary_frame(message)[4:])
+        decoded["obs"][0, 0] = 9.0  # must not raise: owned, writable memory
+
+    def test_auto_encoding_picks_json_without_tensors(self):
+        message = {"v": 2, "id": 1, "op": "health"}
+        frame = protocol.encode_frame_auto(message)
+        assert frame[4:5] == b"{"
+        assert protocol.decode_payload(frame[4:]) == message
+
+    def test_auto_encoding_picks_binary_with_tensors(self):
+        message = {"v": 2, "id": 1, "op": "predict", "obs": np.zeros((8, 2))}
+        frame = protocol.encode_frame_auto(message)
+        assert frame[4] == protocol.KIND_BINARY
+
+    def test_v1_json_frames_are_byte_identical(self):
+        """A v1 peer's frames decode unchanged: pure-JSON framing is frozen."""
+        message = {"v": 1, "id": 7, "op": "health"}
+        frame = protocol.encode_frame(message)
+        assert frame[4:5] == b"{"
+        assert protocol.decode_payload(frame[4:]) == message
+
+    def test_binary_wire_is_little_endian_raw(self):
+        """The tail is the raw little-endian image of the array (the spec)."""
+        obs = np.arange(4, dtype=np.float64).reshape(2, 2)
+        frame = protocol.encode_binary_frame({"v": 2, "id": 1, "obs": obs})
+        assert frame.endswith(obs.astype("<f8").tobytes())
+
+    def test_integer_tensor_rejected(self):
+        with pytest.raises(ProtocolError, match="float32/float64"):
+            protocol.encode_binary_frame({"v": 2, "x": np.arange(3)})
+
+    def test_reserved_envelope_key_rejected(self):
+        with pytest.raises(ProtocolError, match="reserved"):
+            protocol.encode_binary_frame({"v": 2, "x": {"__tensor__": 1}})
+
+    def test_oversized_binary_frame_rejected(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            protocol.encode_binary_frame({"v": 2, "x": np.zeros(100)})
+
+    def test_truncated_binary_payload_rejected(self):
+        frame = protocol.encode_binary_frame({"v": 2, "id": 1, "x": np.zeros(4)})
+        with pytest.raises(ProtocolError, match="too short"):
+            protocol.decode_payload(frame[4:5])  # kind byte alone
+        with pytest.raises(ProtocolError, match="overruns"):
+            protocol.decode_payload(frame[4:9])  # envelope bytes cut off
+
+    @pytest.mark.parametrize(
+        "corruption, match",
+        [
+            ({"dtype": "<i8"}, "dtype"),
+            ({"shape": [-1, 2]}, "shape"),
+            ({"shape": "nope"}, "shape"),
+            ({"nbytes": 7}, "does not match"),
+            ({"offset": 10_000}, "outside"),
+            ({"offset": "x"}, "integers"),
+        ],
+    )
+    def test_corrupt_tensor_descriptor_rejected(self, corruption, match):
+        import json
+
+        frame = protocol.encode_binary_frame({"v": 2, "id": 1, "x": np.zeros((2, 2))})
+        payload = frame[4:]
+        (elen,) = struct.unpack_from(">I", payload, 1)
+        envelope = json.loads(payload[5 : 5 + elen].decode())
+        envelope["x"]["__tensor__"].update(corruption)
+        new_env = json.dumps(envelope, separators=(",", ":")).encode()
+        rebuilt = (
+            bytes((protocol.KIND_BINARY,))
+            + struct.pack(">I", len(new_env))
+            + new_env
+            + payload[5 + elen :]
+        )
+        with pytest.raises(ProtocolError, match=match):
+            protocol.decode_payload(rebuilt)
+
+    def test_binary_frames_cross_the_sync_socket(self):
+        import socket
+
+        a, b = socket.socketpair()
+        try:
+            message = {"v": 2, "id": 1, "op": "predict", "obs": np.ones((8, 2))}
+            frame = protocol.encode_frame_auto(message)
+            a.sendall(frame)
+            received, nbytes = protocol.read_frame_sync_ex(b)
+            assert nbytes == len(frame)
+            np.testing.assert_array_equal(received["obs"], message["obs"])
+        finally:
+            a.close()
+            b.close()
+
+
+class TestVersionNegotiation:
+    def test_both_supported_versions_validate(self):
+        for version in protocol.SUPPORTED_VERSIONS:
+            message = {"v": version, "id": 1, "op": "health"}
+            assert protocol.validate_request(message) == ("health", 1)
+
+    def test_request_builder_stamps_current_version(self):
+        assert protocol.request("health", 1)["v"] == protocol.PROTOCOL_VERSION
+        assert protocol.PROTOCOL_VERSION == 2

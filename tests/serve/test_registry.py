@@ -136,3 +136,76 @@ class TestDtypePolicies:
                 registry.load("m", dtype_policy="strict")
         finally:
             set_default_dtype(previous)
+
+
+class TestRegistryRobustness:
+    def test_models_skips_stray_directories(self, registry, trained_vanilla):
+        """Regression: a junk directory in the root (``.tmp``, a name with a
+        space) used to blow up ``models()`` with ValueError via the
+        ``versions() -> _model_dir()`` name validation."""
+        import os
+
+        registry.publish("m", trained_vanilla)
+        os.makedirs(os.path.join(registry.root, ".tmp"))
+        os.makedirs(os.path.join(registry.root, "foo bar"))
+        os.makedirs(os.path.join(registry.root, "-leading-dash"))
+        with open(os.path.join(registry.root, "stray-file"), "w") as fh:
+            fh.write("not a model")
+        assert registry.models() == ["m"]
+        # The valid entry is untouched by its junk neighbours.
+        assert registry.versions("m") == [1]
+        assert registry.latest_version("m") == 1
+
+    def test_models_skips_conforming_but_empty_directories(self, registry):
+        import os
+
+        os.makedirs(os.path.join(registry.root, "empty-model"))
+        assert registry.models() == []
+
+    def test_crashed_publish_never_becomes_latest(
+        self, registry, trained_vanilla, monkeypatch
+    ):
+        """Regression: ``publish`` wrote the checkpoint in place, so a crash
+        mid-save left a truncated ``v<N>.npz`` that ``latest_version()``
+        then served.  The temp-file + ``os.replace`` write must leave no
+        trace of the failed version."""
+        import os
+
+        import repro.serve.registry as registry_module
+
+        registry.publish("m", trained_vanilla)  # healthy v1
+
+        def partial_write(path, state, config=None):
+            with open(path, "wb") as fh:
+                fh.write(b"PK\x03\x04 truncated mid-write")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(registry_module, "save_checkpoint", partial_write)
+        with pytest.raises(OSError, match="disk full"):
+            registry.publish("m", trained_vanilla)
+        monkeypatch.undo()
+        # The failed v2 must not exist in any form: not as the latest
+        # version, not as a stray partial file.
+        assert registry.versions("m") == [1]
+        assert registry.latest_version("m") == 1
+        assert os.listdir(os.path.join(registry.root, "m")) == ["v1.npz"]
+        registry.load("m")  # the surviving version is intact and loadable
+
+    def test_interrupted_publish_of_first_version_leaves_nothing(
+        self, registry, trained_vanilla, monkeypatch
+    ):
+        import os
+
+        import repro.serve.registry as registry_module
+
+        def crash(path, state, config=None):
+            raise KeyboardInterrupt  # even a hard interrupt cleans up
+
+        monkeypatch.setattr(registry_module, "save_checkpoint", crash)
+        with pytest.raises(KeyboardInterrupt):
+            registry.publish("m", trained_vanilla)
+        monkeypatch.undo()
+        assert registry.versions("m") == []
+        with pytest.raises(KeyError):
+            registry.latest_version("m")
+        assert os.listdir(os.path.join(registry.root, "m")) == []

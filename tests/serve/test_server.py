@@ -368,3 +368,248 @@ class TestShutdown:
         assert not thread.is_alive(), "client hung through server shutdown"
         assert isinstance(outcome["value"], RemoteServingError)
         assert outcome["value"].code == protocol.E_SHUTTING_DOWN
+
+
+class TestRouter:
+    """Unit tests for the weighted least-in-flight router."""
+
+    @staticmethod
+    def make_replicas(*weights):
+        from repro.serve.server import _Replica
+
+        return [
+            _Replica(index, StubPredictor(), weight)
+            for index, weight in enumerate(weights)
+        ]
+
+    def test_picks_least_in_flight(self):
+        from repro.serve.server import Router
+
+        replicas = self.make_replicas(1.0, 1.0)
+        router = Router(replicas)
+        assert router.pick() is replicas[0]  # tie -> lowest index
+        replicas[0].active = 2
+        assert router.pick() is replicas[1]
+        replicas[1].active = 3
+        assert router.pick() is replicas[0]
+
+    def test_weights_bias_placement(self):
+        from repro.serve.server import Router
+
+        replicas = self.make_replicas(1.0, 2.0)
+        router = Router(replicas)
+        # Schedule 6 chunks without completion: the weight-2 replica should
+        # absorb ~2/3 of them.
+        for _ in range(6):
+            router.pick().active += 1
+        assert (replicas[0].active, replicas[1].active) == (2, 4)
+
+    def test_idle_signal(self):
+        from repro.serve.server import Router
+
+        replicas = self.make_replicas(1.0, 1.0)
+        router = Router(replicas)
+        assert router.idle
+        replicas[0].active = 1
+        assert router.idle  # one replica still free
+        replicas[1].active = 1
+        assert not router.idle
+
+    def test_rejects_bad_weights(self):
+        from repro.serve.server import Router
+
+        with pytest.raises(ValueError, match="> 0"):
+            Router(self.make_replicas(1.0, 0.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Router([])
+
+
+class TestReplicaServing:
+    def test_shared_module_tree_rejected(self):
+        server = AsyncServingServer()
+        predictor = StubPredictor()
+        with pytest.raises(ValueError, match="share"):
+            server.add_model("stub", [predictor, predictor])
+
+    def test_weights_length_mismatch_rejected(self):
+        server = AsyncServingServer()
+        with pytest.raises(ValueError, match="weights"):
+            server.add_model(
+                "stub", [StubPredictor(), StubPredictor()], weights=[1.0]
+            )
+
+    def test_empty_replica_list_rejected(self):
+        server = AsyncServingServer()
+        with pytest.raises(ValueError, match="at least one"):
+            server.add_model("stub", [])
+
+    @pytest.mark.server_config(
+        predictor=[StubPredictor(delay=0.02), StubPredictor(delay=0.02)],
+        model={"max_wait": 0.0},
+    )
+    def test_two_replicas_spread_load_and_stay_correct(self, running):
+        """Concurrent load over a 2-replica pool: both replicas execute
+        chunks, every response is correct, and the shared batch_id sequence
+        has no collisions (each batch's rows are complete)."""
+        _, host, port, predictors = running
+        num_clients, per_client = 6, 5
+        records: list[tuple[int, int, np.ndarray, dict]] = []
+        lock = threading.Lock()
+
+        def run_client(seed: int) -> None:
+            with ServingClient.connect(host, port) as client:
+                for i in range(per_client):
+                    obs = make_obs(seed * 100 + i)
+                    samples, meta = client.predict("stub", obs, return_meta=True)
+                    with lock:
+                        records.append((seed, i, samples, meta))
+
+        threads = [
+            threading.Thread(target=run_client, args=(c,)) for c in range(num_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every response is the correct extrapolation of its own window.
+        for seed, i, samples, _ in records:
+            np.testing.assert_allclose(
+                samples[0],
+                expected_extrapolation(make_obs(seed * 100 + i)),
+                atol=1e-9,
+            )
+        # Both replicas actually ran forwards.
+        executed = [sum(p.batch_sizes) for p in predictors]
+        assert sum(executed) == num_clients * per_client
+        assert all(count > 0 for count in executed), (
+            f"load was not spread across replicas: {executed}"
+        )
+        # The shared per-model batch_id sequence kept the replay meta
+        # coherent: each batch's rows are complete and unique.
+        by_batch: dict[int, list[dict]] = {}
+        for _, _, _, meta in records:
+            by_batch.setdefault(meta["batch_id"], []).append(meta)
+        for batch_id, metas in by_batch.items():
+            rows = sorted(meta["row"] for meta in metas)
+            assert rows == list(range(metas[0]["batch_size"])), (
+                f"batch {batch_id} rows incomplete or duplicated: {rows}"
+            )
+
+    @pytest.mark.server_config(
+        predictor=[StubPredictor(), StubPredictor()], model={"max_wait": 0.0}
+    )
+    def test_stats_surface_replicas(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            client.predict("stub", make_obs(1))
+            stats = client.stats()
+        replicas = stats["models"]["stub"]["replicas"]
+        assert len(replicas) == 2
+        assert sum(r["completed"] for r in replicas) == 1
+        assert all(r["weight"] == 1.0 and r["active"] == 0 for r in replicas)
+
+
+class TestBinaryWire:
+    def test_binary_predict_matches_json(self, running):
+        _, host, port, _ = running
+        obs = make_obs(5)
+        with ServingClient.connect(host, port) as plain:
+            expected = plain.predict("stub", obs)
+            json_bytes = plain.last_response_bytes
+        with ServingClient.connect(host, port, binary=True) as client:
+            assert client.supports_binary()
+            samples, meta = client.predict("stub", obs, return_meta=True)
+            binary_bytes = client.last_response_bytes
+        np.testing.assert_allclose(samples, expected, atol=1e-6)  # f4 tail
+        assert meta["batch_size"] >= 1
+        assert binary_bytes < json_bytes
+
+    def test_binary_f8_is_bit_exact(self, running):
+        _, host, port, _ = running
+        obs = make_obs(6)
+        neighbours = np.stack([make_obs(7), make_obs(8)])
+        with ServingClient.connect(host, port) as plain:
+            expected = plain.predict("stub", obs, neighbours=neighbours)
+        with ServingClient.connect(host, port, binary=True, dtype="f8") as client:
+            samples = client.predict("stub", obs, neighbours=neighbours)
+        np.testing.assert_array_equal(samples, expected)
+
+    def test_binary_predict_frame(self, running):
+        _, host, port, _ = running
+        track = make_obs(9)
+        with ServingClient.connect(host, port, binary=True) as client:
+            for frame in range(8):
+                client.observe("stub", frame, {"a": track[frame]})
+            agents = client.predict_frame("stub", 7)
+        np.testing.assert_allclose(
+            agents["a"][0], expected_extrapolation(track), atol=1e-5
+        )
+
+    def test_bad_dtype_rejected(self, running):
+        _, host, port, _ = running
+        with ServingClient.connect(host, port) as client:
+            with pytest.raises(RemoteServingError) as excinfo:
+                client.call(
+                    "predict", model="stub", obs=make_obs().tolist(),
+                    bin=True, dtype="f2",
+                )
+        assert excinfo.value.code == protocol.E_BAD_REQUEST
+
+    def test_json_request_can_ask_for_binary_response(self, running):
+        """`bin: true` is in-band: even a JSON-framed request opts in."""
+        import socket
+
+        _, host, port, _ = running
+        with socket.create_connection((host, port)) as sock:
+            message = protocol.request(
+                "predict", 1, model="stub", obs=make_obs(3).tolist(), bin=True
+            )
+            sock.sendall(protocol.encode_frame(message))
+            response = protocol.read_frame_sync(sock)
+        assert response["ok"]
+        assert isinstance(response["result"]["samples"], np.ndarray)
+        assert response["result"]["samples"].dtype == np.float32
+
+
+class TestV1Compatibility:
+    """A protocol-v1 JSON-only client against the v2 server, end to end."""
+
+    def test_v1_full_flow(self, running):
+        """observe -> predict (explicit + frame) -> stats, all with v1
+        envelopes and pure-JSON frames: the v2 server must serve the whole
+        flow and answer with v1-stamped JSON frames."""
+        import socket
+
+        _, host, port, _ = running
+        track = make_obs(12)
+
+        def v1_call(sock, req_id, op, **fields):
+            sock.sendall(
+                protocol.encode_frame({"v": 1, "id": req_id, "op": op, **fields})
+            )
+            raw = protocol.read_frame_sync(sock)
+            assert raw["v"] == 1, "response must echo the v1 envelope version"
+            assert raw["id"] == req_id
+            assert raw["ok"], raw.get("error")
+            return raw["result"]
+
+        with socket.create_connection((host, port)) as sock:
+            health = v1_call(sock, 1, "health")
+            assert health["status"] == "ok"
+            assert 1 in health["protocols"]
+            for frame in range(8):
+                v1_call(
+                    sock, 10 + frame, "observe", model="stub", frame=frame,
+                    positions={"a": list(map(float, track[frame]))},
+                )
+            by_frame = v1_call(sock, 20, "predict", model="stub", frame=7)
+            samples = np.asarray(by_frame["agents"]["a"]["samples"])
+            np.testing.assert_allclose(
+                samples[0], expected_extrapolation(track), atol=1e-9
+            )
+            explicit = v1_call(
+                sock, 21, "predict", model="stub", obs=track.tolist()
+            )
+            assert isinstance(explicit["samples"], list)  # pure JSON payload
+            stats = v1_call(sock, 22, "stats")
+            assert stats["models"]["stub"]["total_completed"] == 2

@@ -213,3 +213,138 @@ class TestRequestAssembly:
         windows.push("a", 2, 99.0, 99.0)
         np.testing.assert_array_equal(ra.obs[:, 0], [0.0, 1.0])
         np.testing.assert_array_equal(rb.neighbours[0][:, 0], [0.0, 1.0])
+
+
+class TestAgentWindowPushEdgeCases:
+    """`_AgentWindow.push` delivery pathologies the PR 4 suite missed.
+
+    The invariant under test: whenever a window is emitted (``window_at``
+    returns an array), it equals the **last obs_len contiguously-delivered
+    points** — duplicates overwrite, anything non-contiguous restarts the
+    window from the offending point.
+    """
+
+    @staticmethod
+    def point(value):
+        return np.array((float(value), -float(value)))
+
+    def make_window(self, obs_len=4):
+        from repro.serve.streaming import _AgentWindow
+
+        return _AgentWindow(obs_len)
+
+    def feed(self, window, deliveries):
+        """Push ``(frame, value)`` pairs, tracking the contiguity oracle."""
+        contiguous: list[tuple[int, np.ndarray]] = []
+        for frame, value in deliveries:
+            xy = self.point(value)
+            window.push(frame, xy)
+            if contiguous and frame == contiguous[-1][0]:
+                contiguous[-1] = (frame, xy)  # duplicate: last write wins
+            elif contiguous and frame == contiguous[-1][0] + 1:
+                contiguous.append((frame, xy))
+            else:
+                contiguous = [(frame, xy)]  # gap / replay: restart here
+        return contiguous
+
+    def assert_matches_oracle(self, window, contiguous, obs_len=4):
+        frame = contiguous[-1][0]
+        if len(contiguous) >= obs_len:
+            expected = np.stack([xy for _, xy in contiguous[-obs_len:]])
+            emitted = window.window_at(frame)
+            assert emitted is not None, "full contiguous history must be ready"
+            np.testing.assert_array_equal(emitted, expected)
+        else:
+            assert window.window_at(frame) is None
+
+    def test_duplicate_frame_while_empty(self):
+        """A duplicate delivered right after a gap reset (filled == 0) must
+        restart the window at that point, not corrupt the empty buffer."""
+        window = self.make_window()
+        window.push(10, self.point(1))
+        window.push(12, self.point(2))  # gap: resets, window = [p12]
+        assert window.filled == 1
+        # Deliver frame 12 again while the restart is still mid-fill.
+        contiguous = self.feed(window, [(12, 9), (13, 3), (14, 4), (15, 5)])
+        # NB: feed() restarted its oracle at (12, 9) — exactly what push does.
+        assert window.filled == 4
+        self.assert_matches_oracle(window, contiguous)
+
+    def test_duplicate_first_delivery_of_fresh_window(self):
+        window = self.make_window()
+        contiguous = self.feed(
+            window, [(5, 0), (5, 1), (6, 2), (7, 3), (8, 4)]
+        )
+        self.assert_matches_oracle(window, contiguous)
+        # The duplicate overwrote in place: frame 5 contributes value 1.
+        np.testing.assert_array_equal(window.buffer[0], self.point(1))
+
+    def test_out_of_order_replay_restarts_from_stale_point(self):
+        """A frame earlier than ``last_frame`` is a replay: the window must
+        restart from the stale point and only re-fill contiguously."""
+        window = self.make_window()
+        self.feed(window, [(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert window.window_at(3) is not None
+        contiguous = self.feed(window, [(1, 11)])  # replay of frame 1
+        assert window.filled == 1
+        assert window.window_at(1) is None  # nothing is ready mid-restart
+        contiguous = self.feed(window, [(2, 12), (3, 13), (4, 14)])
+        contiguous = [(1, self.point(11))] + contiguous[-3:]
+        # feed() restarted its own oracle at (2, 12) because it only saw the
+        # tail; rebuild the true contiguous run including the replayed 1.
+        expected = np.stack(
+            [self.point(v) for v in (11, 12, 13, 14)]
+        )
+        np.testing.assert_array_equal(window.window_at(4), expected)
+
+    def test_duplicate_then_gap(self):
+        """A duplicate followed by a gap must reset; the duplicate must not
+        mask the discontinuity."""
+        window = self.make_window()
+        self.feed(window, [(0, 0), (1, 1), (1, 9), (5, 5)])
+        assert window.filled == 1
+        assert window.window_at(5) is None
+        contiguous = self.feed(window, [(6, 6), (7, 7), (8, 8)])
+        expected = np.stack([self.point(v) for v in (5, 6, 7, 8)])
+        np.testing.assert_array_equal(window.window_at(8), expected)
+
+    def test_messy_delivery_sequence_against_oracle(self):
+        """Duplicates, replays, and gaps interleaved: every emission along
+        the way must equal the last obs_len contiguous points."""
+        deliveries = [
+            (0, 0), (1, 1), (1, 2), (2, 3), (3, 4), (4, 5),     # dup mid-fill
+            (2, 6),                                             # replay
+            (3, 7), (4, 8), (5, 9), (5, 10), (6, 11),           # rebuild + dup
+            (9, 12),                                            # gap
+            (10, 13), (11, 14), (12, 15), (13, 16), (13, 17),   # rebuild + dup
+        ]
+        window = self.make_window()
+        contiguous: list[tuple[int, np.ndarray]] = []
+        for frame, value in deliveries:
+            contiguous = self.feed_one(window, contiguous, frame, value)
+            self.assert_matches_oracle(window, contiguous)
+
+    def feed_one(self, window, contiguous, frame, value):
+        xy = self.point(value)
+        window.push(frame, xy)
+        contiguous = list(contiguous)
+        if contiguous and frame == contiguous[-1][0]:
+            contiguous[-1] = (frame, xy)
+        elif contiguous and frame == contiguous[-1][0] + 1:
+            contiguous.append((frame, xy))
+        else:
+            contiguous = [(frame, xy)]
+        return contiguous
+
+    def test_streaming_windows_surface_the_same_behaviour(self):
+        """The same invariant through the public StreamingWindows API."""
+        windows = StreamingWindows(obs_len=3)
+        for frame, value in [(0, 0), (1, 1), (1, 9), (3, 3)]:
+            windows.push("a", frame, float(value), -float(value))
+        assert windows.ready_agents(3) == []  # gap after the duplicate: reset
+        windows.push("a", 4, 4.0, -4.0)
+        windows.push("a", 5, 5.0, -5.0)
+        assert windows.ready_agents(5) == ["a"]
+        [request] = windows.requests(5)
+        expected = np.array([[3.0, -3.0], [4.0, -4.0], [5.0, -5.0]])
+        np.testing.assert_array_equal(request.obs, expected)
