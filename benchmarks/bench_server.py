@@ -415,6 +415,22 @@ def test_single_round_trip_equivalence():
     assert check_equivalence(predictor, records) >= 1
 
 
+def test_single_round_trip_equivalence_compiled():
+    """The same replay gate with ``compile=True``: predictions served via
+    planned execution must still recompose offline against an *eager*
+    predictor built from the same seed (ISSUE 6 acceptance gate)."""
+    served = make_predictor()
+    served.set_compile(True)
+    thread, host, port = start_server(served)
+    try:
+        _, records = run_load(host, port, 1, 6)
+    finally:
+        thread.stop()
+    stats = served.compile_stats()
+    assert stats["broken"] is None and stats["plans"] > 0, stats
+    assert check_equivalence(make_predictor(), records) >= 1
+
+
 def test_v1_client_compat_smoke():
     """Standalone v1-client-against-v2-server smoke (no load)."""
     thread, host, port = start_server([make_predictor(), make_predictor()])

@@ -15,16 +15,39 @@ start of a perf trajectory for the experiment suite itself.
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import re
 import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 
 #: Scale used by the benchmark suite; override with REPRO_BENCH_SCALE=small.
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
 
 #: Worker count used when benchmarks run under pytest (the CLI uses --jobs).
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write the machine-readable ``BENCH_<name>.json`` at the repo root.
+
+    The file is the CI-facing record of one benchmark invocation — speedups,
+    per-call latencies, and gate pass/fail — written atomically (tmp file +
+    rename) so a crashed run never leaves a truncated artifact for the
+    workflow's artifact-upload step to pick up.  ``name`` is slugified
+    (human titles like ``"Table I (dataset statistics)"`` become
+    ``table_i_dataset_statistics``) so the filename is shell-safe.
+    """
+    slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+    path = os.path.join(REPO_ROOT, f"BENCH_{slug}.json")
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=float)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
 
 
 def main(generator, name: str, supports_jobs: bool = True, argv=None) -> None:
@@ -58,10 +81,26 @@ def main(generator, name: str, supports_jobs: bool = True, argv=None) -> None:
     wall = time.perf_counter() - start
 
     results = result.values() if isinstance(result, dict) else [result]
+    bench_meta = {}
     for item in results:
         item.meta.setdefault("scale", args.scale)
         item.meta["total_wall_seconds"] = round(wall, 4)
         if supports_jobs:
             item.meta.setdefault("jobs", args.jobs)
+        bench_meta[item.name] = dict(item.meta)
         print(item.save(args.results_dir))
         print()
+    # Machine-readable run record for CI (latency trajectory per artifact).
+    print(
+        write_bench_json(
+            name,
+            {
+                "benchmark": name,
+                "scale": args.scale,
+                "seed": args.seed,
+                "total_wall_seconds": round(wall, 4),
+                "artifacts": bench_meta,
+                "passed": True,
+            },
+        )
+    )

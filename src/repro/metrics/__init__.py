@@ -1,13 +1,24 @@
 """``repro.metrics`` — evaluation metrics (ADE/FDE) and dataset statistics."""
 
 from repro.metrics.displacement import ade, ade_fde, best_of_ade_fde, fde
-from repro.metrics.statistics import DomainStatistics, compute_statistics
+from repro.metrics.statistics import (
+    DomainStatistics,
+    EquivalenceReport,
+    assert_equivalent,
+    compare_samples,
+    compute_statistics,
+    ks_statistic,
+)
 
 __all__ = [
     "DomainStatistics",
+    "EquivalenceReport",
     "ade",
     "ade_fde",
+    "assert_equivalent",
     "best_of_ade_fde",
+    "compare_samples",
     "compute_statistics",
     "fde",
+    "ks_statistic",
 ]

@@ -4,6 +4,12 @@ For a collection of scenes these helpers compute the quantities the paper
 uses to demonstrate distribution shift between datasets: number of
 prediction sequences, crowd density (agents per sequence window), and per-
 axis absolute velocity / acceleration per frame.
+
+The module also hosts the **statistical-equivalence tier** used by the
+compiled-inference gates (:mod:`benchmarks.bench_compile`): a numpy-only
+two-sample comparison that grades how close two prediction tensors are —
+from bit-identity down to distribution-level agreement — so an optimized
+execution path can be certified against the eager reference.
 """
 
 from __future__ import annotations
@@ -15,7 +21,14 @@ import numpy as np
 from repro.data.dataset import OBS_LEN, PRED_LEN
 from repro.data.trajectory import Scene
 
-__all__ = ["DomainStatistics", "compute_statistics"]
+__all__ = [
+    "DomainStatistics",
+    "EquivalenceReport",
+    "assert_equivalent",
+    "compare_samples",
+    "compute_statistics",
+    "ks_statistic",
+]
 
 
 @dataclass
@@ -104,3 +117,140 @@ def compute_statistics(
         ay_mean=float(accel[:, 1].mean()),
         ay_std=float(accel[:, 1].std()),
     )
+
+
+# ----------------------------------------------------------------------
+# Statistical-equivalence tier (compiled-inference certification)
+# ----------------------------------------------------------------------
+
+#: Default gate thresholds.  ``ks`` bounds the two-sample Kolmogorov-Smirnov
+#: statistic over pooled values; ``mean_shift`` bounds the difference of
+#: means in pooled standard-error units (a z-score, so 0.5 is well inside
+#: sampling noise for any realistic sample count).
+KS_THRESHOLD = 0.05
+MEAN_SHIFT_THRESHOLD = 0.5
+
+
+def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic ``sup_x |F_a(x) - F_b(x)|``.
+
+    Computed from the sorted empirical CDFs of the flattened inputs — no
+    scipy required.  Returns a value in ``[0, 1]``; 0 means the empirical
+    distributions coincide.
+    """
+    a = np.sort(np.asarray(a, dtype=np.float64).ravel())
+    b = np.sort(np.asarray(b, dtype=np.float64).ravel())
+    if a.size == 0 or b.size == 0:
+        raise ValueError("ks_statistic needs non-empty samples")
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / a.size
+    cdf_b = np.searchsorted(b, pooled, side="right") / b.size
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+@dataclass
+class EquivalenceReport:
+    """Graded comparison of two prediction tensors (reference vs candidate).
+
+    Tiers, strongest first:
+
+    * ``exact`` — bit-identical arrays (``np.array_equal``); this is the
+      expected outcome for compiled replays that do not reorder reductions.
+    * ``max_abs_diff`` — worst-case elementwise divergence.
+    * ``ks`` / ``mean_shift`` — distribution-level agreement of the pooled
+      values: the two-sample KS statistic and the difference of means in
+      pooled standard-error units.
+
+    ``passed`` applies the distribution-tier thresholds; callers that demand
+    bit-identity check ``exact`` directly.  The contract assumes both
+    tensors were produced from the *same seed* — the tier certifies that an
+    alternate execution path preserves the sampling distribution, not that
+    two independent draws happen to agree.
+    """
+
+    exact: bool
+    max_abs_diff: float
+    ks: float
+    mean_shift: float
+    shape: tuple[int, ...]
+    ks_threshold: float = KS_THRESHOLD
+    mean_shift_threshold: float = MEAN_SHIFT_THRESHOLD
+
+    @property
+    def passed(self) -> bool:
+        return self.ks <= self.ks_threshold and abs(self.mean_shift) <= self.mean_shift_threshold
+
+    def as_dict(self) -> dict[str, float | bool | list[int]]:
+        return {
+            "exact": self.exact,
+            "max_abs_diff": self.max_abs_diff,
+            "ks": self.ks,
+            "mean_shift": self.mean_shift,
+            "shape": list(self.shape),
+            "passed": self.passed,
+        }
+
+
+def compare_samples(
+    reference: np.ndarray,
+    candidate: np.ndarray,
+    *,
+    ks_threshold: float = KS_THRESHOLD,
+    mean_shift_threshold: float = MEAN_SHIFT_THRESHOLD,
+) -> EquivalenceReport:
+    """Grade ``candidate`` against ``reference`` (same shape, same seed)."""
+    reference = np.asarray(reference)
+    candidate = np.asarray(candidate)
+    if reference.shape != candidate.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs candidate {candidate.shape}"
+        )
+    if reference.size == 0:
+        raise ValueError("compare_samples needs non-empty arrays")
+    exact = bool(np.array_equal(reference, candidate))
+    max_abs_diff = float(np.abs(reference.astype(np.float64) - candidate.astype(np.float64)).max())
+    ks = 0.0 if exact else ks_statistic(reference, candidate)
+
+    ref = reference.astype(np.float64).ravel()
+    cand = candidate.astype(np.float64).ravel()
+    pooled_var = (ref.var(ddof=1) + cand.var(ddof=1)) / 2.0 if ref.size > 1 else 0.0
+    se = np.sqrt(max(pooled_var, 1e-300) * 2.0 / ref.size)
+    mean_shift = 0.0 if exact else float((cand.mean() - ref.mean()) / se)
+
+    return EquivalenceReport(
+        exact=exact,
+        max_abs_diff=max_abs_diff,
+        ks=ks,
+        mean_shift=mean_shift,
+        shape=tuple(reference.shape),
+        ks_threshold=ks_threshold,
+        mean_shift_threshold=mean_shift_threshold,
+    )
+
+
+def assert_equivalent(
+    reference: np.ndarray,
+    candidate: np.ndarray,
+    *,
+    require_exact: bool = False,
+    **thresholds: float,
+) -> EquivalenceReport:
+    """Raise ``AssertionError`` unless the equivalence tier passes.
+
+    ``require_exact=True`` demands bit-identity (the compiled-inference
+    default — no fusion in :mod:`repro.nn.compile` reorders reductions);
+    otherwise the distribution-tier thresholds apply.
+    """
+    report = compare_samples(reference, candidate, **thresholds)
+    if require_exact and not report.exact:
+        raise AssertionError(
+            f"not bit-identical: max_abs_diff={report.max_abs_diff:.3e} "
+            f"(ks={report.ks:.4f}, mean_shift={report.mean_shift:.3f})"
+        )
+    if not report.passed:
+        raise AssertionError(
+            f"statistical equivalence failed: ks={report.ks:.4f} "
+            f"(<= {report.ks_threshold}), mean_shift={report.mean_shift:.3f} "
+            f"(<= {report.mean_shift_threshold})"
+        )
+    return report

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.dataset import Batch
-from repro.nn import Module, Tensor, inference_mode
+from repro.nn import Module, Tensor, inference_mode, stack
 
 __all__ = ["BackboneEncoding", "BackboneOutput", "TrajectoryBackbone"]
 
@@ -161,7 +161,11 @@ class TrajectoryBackbone(Module):
             encoding = self.encode(batch)
             context = context_fn(encoding) if context_fn is not None else None
             samples = [
-                self.decode(encoding, batch, context, rng).data.copy()
+                self.decode(encoding, batch, context, rng)
                 for _ in range(num_samples)
             ]
-        return np.stack(samples, axis=0)
+            # Stacked through the Tensor op (not np.stack on copies) so the
+            # output array is itself a traced node — the compile tape needs
+            # the final buffer to be produced by a recorded op.
+            stacked = stack(samples, axis=0)
+        return stacked.data

@@ -10,6 +10,15 @@ Two decoder styles matching the two backbones:
 Both emit *displacements* that are cumulatively summed from the origin (the
 focal agent's last observed position is the origin after normalization),
 which makes small-weight initialization predict "stand still" — a sane prior.
+
+Compiled inference: when a :mod:`repro.nn.compile` tape is active (and
+autograd is off), :class:`RecurrentTrajectoryDecoder` runs its whole rollout
+as one window-level numpy kernel — ``pred_len`` LSTM-cell steps, head MLP,
+and the running sum fused into a single planned region instead of
+``~18 * pred_len`` Tensor dispatches.  The fused loop reproduces the eager
+Tensor arithmetic expression for expression (same gate formulas as the cell,
+same head chain), so the planned replay is bit-identical to the autograd
+path; the eager loop remains the training path and the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -17,6 +26,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import MLP, LSTMCell, Module, Tensor, cat
+from repro.nn._tracer import active_tape, register_kernel, trace as _trace
+from repro.nn.compile import (
+    chain_arrays,
+    chain_forward_np,
+    chain_from,
+    chain_layout,
+    linear_chain,
+)
+from repro.nn.tensor import is_grad_enabled
 from repro.utils.seeding import new_rng
 
 __all__ = ["MLPTrajectoryDecoder", "RecurrentTrajectoryDecoder", "cumulative_positions"]
@@ -50,6 +68,64 @@ class MLPTrajectoryDecoder(Module):
         return cumulative_positions(offsets)
 
 
+def _rollout_forward_np(
+    h: np.ndarray,
+    c: np.ndarray,
+    weight_x: np.ndarray,
+    weight_h: np.ndarray,
+    bias: np.ndarray,
+    head_spec: list,
+    pred_len: int,
+    hidden: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Whole decoder rollout as one numpy loop, eager-arithmetic-identical.
+
+    Each step performs exactly the eager cell/head expressions:
+    ``gates = (offset @ Wx + b) + h @ Wh``; per-gate sigmoid/tanh;
+    ``c = f * c + i * g``; ``h = o * tanh(c)``; ``offset = head(h)``;
+    running-sum positions written into ``out[:, t]``.
+    """
+    batch = h.shape[0]
+    hs = hidden
+    if out is None:
+        out = np.empty((batch, pred_len, 2), dtype=h.dtype)
+    offset = np.zeros((batch, 2), dtype=h.dtype)
+    total = None
+    for t in range(pred_len):
+        gates = offset @ weight_x
+        gates += bias
+        gates += h @ weight_h
+        for block in (gates[:, : 2 * hs], gates[:, 3 * hs :]):
+            np.negative(block, out=block)
+            np.exp(block, out=block)
+            block += 1.0
+            np.reciprocal(block, out=block)
+        g_blk = gates[:, 2 * hs : 3 * hs]
+        np.tanh(g_blk, out=g_blk)
+        c = gates[:, hs : 2 * hs] * c + gates[:, 0:hs] * g_blk
+        h = gates[:, 3 * hs :] * np.tanh(c)
+        offset = chain_forward_np(h, head_spec)
+        total = offset if total is None else total + offset
+        out[:, t, :] = total
+    return out
+
+
+@register_kernel("decoder_rollout")
+def _build_rollout_kernel(params, out):
+    pred_len = params["pred_len"]
+    hidden = params["hidden"]
+    layout = params["layout"]
+
+    def fn(h, c, weight_x, weight_h, bias, *head_arrays):
+        head_spec = chain_from(layout, head_arrays)
+        return _rollout_forward_np(
+            h, c, weight_x, weight_h, bias, head_spec, pred_len, hidden, out=out
+        )
+
+    return fn
+
+
 class RecurrentTrajectoryDecoder(Module):
     """LSTM rollout decoder: one cell iteration per predicted frame.
 
@@ -78,6 +154,10 @@ class RecurrentTrajectoryDecoder(Module):
         batch = conditioning.shape[0]
         h = self.init_h(conditioning).tanh()
         c = self.init_c(conditioning).tanh()
+        if active_tape() is not None and not is_grad_enabled():
+            fused = self._forward_fused(h, c)
+            if fused is not None:
+                return fused
         offset = Tensor(np.zeros((batch, 2)))
         rows = []
         total = None
@@ -89,3 +169,30 @@ class RecurrentTrajectoryDecoder(Module):
         from repro.nn import stack
 
         return stack(rows, axis=1)
+
+    def _forward_fused(self, h: Tensor, c: Tensor) -> Tensor | None:
+        """Capture-time rollout as one traced kernel (inference only).
+
+        Returns ``None`` when the head MLP is not fusable, in which case the
+        caller falls back to the per-step Tensor loop (still traceable as
+        primitive ops, just not as a single planned region).
+        """
+        head_spec = linear_chain(self.head)
+        if head_spec is None:
+            return None
+        weight_x = self.cell.weight_x.data
+        weight_h = self.cell.weight_h.data
+        bias = self.cell.bias.data
+        out = _rollout_forward_np(
+            h.data, c.data, weight_x, weight_h, bias,
+            head_spec, self.pred_len, self.hidden,
+        )
+        _trace(
+            "decoder_rollout",
+            out,
+            (h.data, c.data, weight_x, weight_h, bias, *chain_arrays(head_spec)),
+            pred_len=self.pred_len,
+            hidden=self.hidden,
+            layout=chain_layout(head_spec),
+        )
+        return Tensor(out)

@@ -27,9 +27,74 @@ from repro.models.decoder import RecurrentTrajectoryDecoder
 from repro.models.embeddings import StepEmbedding, WindowEmbedding
 from repro.nn import LSTM, MLP, SocialPooling, Tensor, cat, enable_grad
 from repro.nn import functional as F
+from repro.nn._tracer import register_kernel, trace as _trace
+from repro.nn.compile import (
+    chain_arrays,
+    chain_forward_np,
+    chain_from,
+    chain_input_grad_np,
+    chain_layout,
+    linear_chain,
+)
 from repro.utils.seeding import new_rng
 
 __all__ = ["LBEBM"]
+
+
+def _langevin_np(
+    z0: np.ndarray,
+    noise: np.ndarray,
+    h: np.ndarray,
+    energy_spec: list,
+    steps: int,
+    step_size: float,
+    latent_dim: int,
+) -> np.ndarray:
+    """Short-run Langevin dynamics as one fused numpy loop.
+
+    Replaces the per-iteration Tensor/graph construction of the reference
+    sampler: the invariant ``cat([z, h])`` conditioning is hoisted into a
+    reused buffer whose ``h`` half is written once, and the energy gradient
+    ``dE/dz`` is computed by a closed-form walk over the energy MLP
+    (:func:`repro.nn.compile.chain_input_grad_np`) instead of building and
+    backpropagating a fresh autograd graph per step.  Every expression
+    mirrors the autograd closures, so the trajectory of ``z`` is
+    bit-identical to the reference loop (golden-tested at 1e-10).
+    """
+    batch = z0.shape[0]
+    # The conditioning buffer follows the *model* dtype (the reference loop
+    # wraps z in a default-dtype Tensor each iteration), while the z update
+    # itself stays in the draw dtype — exactly like the eager path.
+    dtype = energy_spec[0][1].dtype if energy_spec else z0.dtype
+    x = np.empty((batch, latent_dim + h.shape[-1]), dtype=dtype)
+    x[:, latent_dim:] = h
+    ones = np.ones((batch, 1), dtype=dtype)
+    z = z0
+    for k in range(steps):
+        x[:, :latent_dim] = z
+        stash: list = []
+        chain_forward_np(x, energy_spec, stash)
+        grad = chain_input_grad_np(ones, energy_spec, stash)[:, :latent_dim]
+        z = z - 0.5 * step_size * grad + np.sqrt(step_size) * noise[k]
+    return z
+
+
+@register_kernel("lbebm_langevin")
+def _build_langevin_kernel(params, out):
+    steps = params["steps"]
+    step_size = params["step_size"]
+    latent_dim = params["latent_dim"]
+    layout = params["layout"]
+
+    def fn(z0, noise, h, *energy_arrays):
+        spec = chain_from(layout, energy_arrays)
+        result = _langevin_np(z0, noise, h, spec, steps, step_size, latent_dim)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+
+    return fn
 
 
 class LBEBM(TrajectoryBackbone):
@@ -108,10 +173,51 @@ class LBEBM(TrajectoryBackbone):
         """Short-run Langevin dynamics sampling of the latent plan.
 
         ``z_{k+1} = z_k - (s/2) dE/dz + sqrt(s) * eps`` starting from a
-        standard normal.  The energy parameters are taken out of the graph
-        for the duration of the loop, so each iteration differentiates only
-        w.r.t. ``z`` — the sampler neither accumulates side-effect gradients
-        into the energy network nor records parameter-sized graph nodes.
+        standard normal.  Runs as one fused numpy loop (:func:`_langevin_np`):
+        no per-iteration Tensor/graph allocation, the ``cat`` conditioning
+        buffer reused with its ``h`` half written once, and the energy
+        gradient computed in closed form — bit-identical to
+        :meth:`langevin_sample_reference` (the original autograd loop, kept
+        as the golden oracle).  Under a compile tape the whole loop records
+        as a single ``lbebm_langevin`` kernel.
+
+        RNG contract: draws ``z0`` first, then all step noise in one block,
+        which consumes the generator's stream exactly like the reference
+        loop's interleaved per-step draws.
+        """
+        spec = linear_chain(self.energy)
+        if spec is None:
+            # Exotic energy config (training-mode dropout, custom layers):
+            # keep the autograd loop.
+            return self.langevin_sample_reference(h_detached, rng)
+        batch = h_detached.shape[0]
+        h = h_detached.data
+        z0 = rng.standard_normal((batch, self.latent_dim))
+        noise = rng.standard_normal((self.langevin_steps, batch, self.latent_dim))
+        z = _langevin_np(
+            z0, noise, h, spec,
+            self.langevin_steps, self.langevin_step_size, self.latent_dim,
+        )
+        _trace(
+            "lbebm_langevin",
+            z,
+            (z0, noise, h, *chain_arrays(spec)),
+            steps=self.langevin_steps,
+            step_size=self.langevin_step_size,
+            latent_dim=self.latent_dim,
+            layout=chain_layout(spec),
+        )
+        return Tensor(z)
+
+    def langevin_sample_reference(
+        self, h_detached: Tensor, rng: np.random.Generator
+    ) -> Tensor:
+        """Original per-iteration autograd Langevin loop (golden oracle).
+
+        The energy parameters are taken out of the graph for the duration of
+        the loop, so each iteration differentiates only w.r.t. ``z`` — the
+        sampler neither accumulates side-effect gradients into the energy
+        network nor records parameter-sized graph nodes.
         """
         batch = h_detached.shape[0]
         step = self.langevin_step_size

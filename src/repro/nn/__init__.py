@@ -8,6 +8,7 @@ groups (needed by the paper's Alg. 1), and checkpoint serialization.
 
 from repro.nn import functional, init
 from repro.nn.attention import SocialAttention, SocialPooling
+from repro.nn.compile import CompileError, Plan, capture
 from repro.nn.layers import MLP, Activation, Dropout, LayerNorm, Linear, Sequential
 from repro.nn.module import Module, ModuleDict, ModuleList, Parameter, inference_mode
 from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
@@ -41,6 +42,7 @@ __all__ = [
     "Activation",
     "Adam",
     "CheckpointMeta",
+    "CompileError",
     "Dropout",
     "FORMAT_VERSION",
     "GRU",
@@ -55,12 +57,14 @@ __all__ = [
     "ModuleList",
     "Optimizer",
     "Parameter",
+    "Plan",
     "SGD",
     "Sequential",
     "SocialAttention",
     "SocialPooling",
     "Tensor",
     "as_tensor",
+    "capture",
     "cat",
     "clip_grad_norm",
     "default_dtype",

@@ -1,0 +1,246 @@
+"""Kernel tape for the compiled inference fast path (``repro.nn.compile``).
+
+The autodiff :class:`~repro.nn.tensor.Tensor` op sites call :func:`trace`
+after computing their forward value.  When no tape is active (the default —
+training, eager inference) that is a single thread-local read per op; when a
+tape *is* active (inside :func:`repro.nn.compile.capture`) every op appends a
+:class:`TapeNode` describing the kernel, its operand arrays, and its output
+array, keyed by ``id()`` of the numpy buffers.  RNG draws are captured the
+same way through :class:`RecordingGenerator`, so a plan can re-draw them in
+recorded program order and consume the caller's stream bit-identically to the
+eager path.
+
+Identity-based operand resolution has one sharp edge: a numpy computation
+performed *outside* the traced op set produces an array the tape has never
+seen, which is then frozen into the plan as a constant.  The traced helper
+hooks in ``repro.nn.functional``/``repro.nn.attention`` cover the mask
+arithmetic on the inference path, and ``repro.serve.predictor`` validates
+every captured plan against the eager path on a perturbed batch before
+trusting it, falling back to eager execution on any mismatch.
+
+The kernel registry lives here (not in ``repro.nn.compile``) so model-level
+modules (``repro.nn.recurrent``, ``repro.models.decoder``,
+``repro.models.lbebm``) can register fused window-level kernels without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = [
+    "CompileError",
+    "IndexSlot",
+    "RecordingGenerator",
+    "Tape",
+    "TapeNode",
+    "active_tape",
+    "register_kernel",
+    "trace",
+]
+
+
+class CompileError(RuntimeError):
+    """A forward could not be captured or replayed as a plan."""
+
+
+class _TraceState(threading.local):
+    """Per-thread active tape; ``None`` means tracing is off (the default)."""
+
+    tape = None
+
+
+_STATE = _TraceState()
+
+
+def active_tape() -> "Tape | None":
+    """The tape currently recording on this thread, if any."""
+    return _STATE.tape
+
+
+def trace(kernel: str, out: np.ndarray, operands: tuple, **params) -> None:
+    """Record one op on the active tape (no-op when tracing is off).
+
+    This is the single hook every Tensor op site calls; it must stay cheap
+    in the common (no-tape) case.
+    """
+    tape = _STATE.tape
+    if tape is not None:
+        tape.record(kernel, out, operands, **params)
+
+
+class IndexSlot:
+    """Marker for an array-valued part of a ``__getitem__`` index.
+
+    ``pos`` is the position of the corresponding operand in the node's
+    operand tuple (operand 0 is always the indexed array itself).
+    """
+
+    __slots__ = ("pos",)
+
+    def __init__(self, pos: int) -> None:
+        self.pos = pos
+
+
+class TapeNode:
+    """One captured value: a constant, a bound input, an RNG draw, or an op."""
+
+    __slots__ = (
+        "kind",  # "constant" | "input" | "rng" | "op"
+        "kernel",
+        "operands",  # tuple[TapeNode, ...] for ops
+        "params",
+        "array",  # the captured output array (holds the id() alive)
+        "name",  # input slot name for kind == "input"
+        "rng_method",
+        "rng_args",
+        "rng_kwargs",
+        "slot",  # value-table index, assigned at plan build
+        "live",
+    )
+
+    def __init__(self, kind: str, array: np.ndarray) -> None:
+        self.kind = kind
+        self.array = array
+        self.kernel = None
+        self.operands = ()
+        self.params = {}
+        self.name = None
+        self.rng_method = None
+        self.rng_args = ()
+        self.rng_kwargs = {}
+        self.slot = -1
+        self.live = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.kernel or self.rng_method or self.name or ""
+        return f"TapeNode({self.kind}:{tag}, shape={getattr(self.array, 'shape', None)})"
+
+
+class Tape:
+    """Recorded op graph of one traced forward.
+
+    Values are keyed by ``id()`` of their numpy buffer; every node keeps a
+    reference to its output array, so a tracked id can never be recycled
+    while the tape is alive.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: list[TapeNode] = []
+        self._by_id: dict[int, TapeNode] = {}
+        self.inputs: dict[str, TapeNode] = {}
+
+    # -- lookup --------------------------------------------------------
+    def lookup(self, array) -> TapeNode | None:
+        return self._by_id.get(id(array))
+
+    def _node_for(self, value) -> TapeNode:
+        array = np.asarray(value)
+        node = self._by_id.get(id(array))
+        if node is None:
+            node = TapeNode("constant", array)
+            self.nodes.append(node)
+            self._by_id[id(array)] = node
+        return node
+
+    # -- recording -----------------------------------------------------
+    def register_input(self, name: str, array: np.ndarray) -> TapeNode:
+        node = TapeNode("input", array)
+        node.name = name
+        self.nodes.append(node)
+        self._by_id[id(array)] = node
+        self.inputs[name] = node
+        return node
+
+    def record(self, kernel: str, out: np.ndarray, operands: tuple, **params) -> TapeNode:
+        node = TapeNode("op", out)
+        node.kernel = kernel
+        node.operands = tuple(self._node_for(op) for op in operands)
+        node.params = params
+        self.nodes.append(node)
+        # A later op may legitimately produce an array whose id was seen
+        # before only if the old array died; newest producer wins.
+        self._by_id[id(out)] = node
+        return node
+
+    def record_rng(self, method: str, out, args: tuple, kwargs: dict) -> None:
+        if not isinstance(out, np.ndarray):
+            # Scalar draws cannot be tracked by buffer identity; they will
+            # surface as frozen constants and fail plan validation, which is
+            # the safe outcome.
+            return
+        node = TapeNode("rng", out)
+        node.rng_method = method
+        node.rng_args = args
+        node.rng_kwargs = kwargs
+        self.nodes.append(node)
+        self._by_id[id(out)] = node
+
+
+class RecordingGenerator(np.random.Generator):
+    """``np.random.Generator`` proxy that records draws on a tape.
+
+    Shares the wrapped generator's bit-generator, so recording consumes the
+    underlying stream exactly like the eager path.  Only array-returning
+    draw methods used on inference paths are recorded; any other method
+    still works but its output will freeze into the plan as a constant and
+    be rejected by plan validation.
+    """
+
+    def __init__(self, tape: Tape, base: np.random.Generator) -> None:
+        super().__init__(base.bit_generator)
+        self._tape = tape
+
+    def _record(self, method: str, out, args: tuple, kwargs: dict):
+        self._tape.record_rng(method, out, args, kwargs)
+        return out
+
+    def standard_normal(self, size=None, *args, **kwargs):
+        out = super().standard_normal(size, *args, **kwargs)
+        return self._record("standard_normal", out, (size, *args), kwargs)
+
+    def normal(self, loc=0.0, scale=1.0, size=None):
+        out = super().normal(loc, scale, size)
+        return self._record("normal", out, (loc, scale, size), {})
+
+    def random(self, size=None, *args, **kwargs):
+        out = super().random(size, *args, **kwargs)
+        return self._record("random", out, (size, *args), kwargs)
+
+    def uniform(self, low=0.0, high=1.0, size=None):
+        out = super().uniform(low, high, size)
+        return self._record("uniform", out, (low, high, size), {})
+
+    def integers(self, low, high=None, size=None, dtype=np.int64, endpoint=False):
+        out = super().integers(low, high, size, dtype, endpoint)
+        return self._record(
+            "integers", out, (low, high, size), {"dtype": dtype, "endpoint": endpoint}
+        )
+
+
+# ----------------------------------------------------------------------
+# Kernel registry
+# ----------------------------------------------------------------------
+# name -> builder(params: dict, out: np.ndarray | None) -> fn(*arrays)
+# ``out`` is the plan-owned persistent output buffer (None for view-style
+# kernels and during constant folding); ``fn`` returns the output array.
+KERNEL_BUILDERS: dict[str, Callable] = {}
+
+# Kernels whose output is (or may be) a view / fresh small array — the plan
+# does not allocate a persistent buffer for them.
+UNBUFFERED_KERNELS: set[str] = set()
+
+
+def register_kernel(name: str, *, buffered: bool = True):
+    """Register a kernel builder under ``name`` (decorator)."""
+
+    def decorate(builder: Callable) -> Callable:
+        KERNEL_BUILDERS[name] = builder
+        if not buffered:
+            UNBUFFERED_KERNELS.add(name)
+        return builder
+
+    return decorate

@@ -18,6 +18,7 @@ import math
 
 import numpy as np
 
+from repro.nn._tracer import trace as _trace
 from repro.nn.functional import masked_mean, masked_softmax
 from repro.nn.layers import MLP, Linear
 from repro.nn.module import Module
@@ -92,9 +93,14 @@ class SocialPooling(Module):
         mean_pool = masked_mean(transformed, mask, axis=1)  # [B, half]
         # Max pool: push padded slots to a large negative value first.
         # Scalars broadcast through where(), avoiding full-size fill arrays.
-        guarded = where(mask[..., None], transformed, -1e9)
+        expanded = mask[..., None]
+        _trace("getitem", expanded, (mask,), index=(Ellipsis, None))
+        guarded = where(expanded, transformed, -1e9)
         max_pool = guarded.max(axis=1)
-        has_any = mask.any(axis=1)[:, None]
+        any_valid = mask.any(axis=1)
+        _trace("any", any_valid, (mask,), axis=1, keepdims=False)
+        has_any = any_valid[:, None]
+        _trace("getitem", has_any, (any_valid,), index=(slice(None), None))
         max_pool = where(has_any, max_pool, 0.0)
         from repro.nn.tensor import cat
 

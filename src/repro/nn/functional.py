@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn._tracer import trace as _trace
 from repro.nn.tensor import Tensor, as_tensor, cat, where
 
 __all__ = [
@@ -49,6 +50,7 @@ def masked_softmax(logits: Tensor, mask: np.ndarray, axis: int = -1) -> Tensor:
     guarded = where(mask, logits, -1e9)
     probs = softmax(guarded, axis=axis)
     any_valid = mask.any(axis=axis, keepdims=True)
+    _trace("any", any_valid, (mask,), axis=axis, keepdims=True)
     return where(any_valid, probs, 0.0)
 
 
@@ -56,10 +58,16 @@ def masked_mean(values: Tensor, mask: np.ndarray, axis: int) -> Tensor:
     """Mean of ``values`` over ``axis`` counting only entries where mask is True."""
     mask = np.asarray(mask, dtype=bool)
     weights = mask.astype(np.float64)
+    _trace("astype", weights, (mask,), dtype=weights.dtype)
     while weights.ndim < values.ndim:
-        weights = weights[..., None]
+        expanded = weights[..., None]
+        _trace("getitem", expanded, (weights,), index=(Ellipsis, None))
+        weights = expanded
     total = (values * Tensor(weights)).sum(axis=axis)
-    counts = np.maximum(weights.sum(axis=axis), 1.0)
+    counts_sum = weights.sum(axis=axis)
+    _trace("sum", counts_sum, (weights,), axis=axis, keepdims=False)
+    counts = np.maximum(counts_sum, 1.0)
+    _trace("maximum_scalar", counts, (counts_sum,), value=1.0)
     return total / Tensor(counts)
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import init
+from repro.nn._tracer import register_kernel, trace as _trace
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, get_default_dtype, is_grad_enabled, stack
 from repro.utils.seeding import new_rng
@@ -140,6 +141,71 @@ class GRUCell(Module):
         return (1.0 - z) * n + z * h
 
 
+def _lstm_forward_np(
+    gx_data: np.ndarray,
+    w_h: np.ndarray,
+    h: np.ndarray,
+    c: np.ndarray,
+    hs: int,
+    out: np.ndarray,
+    acts: np.ndarray | None = None,
+    tanh_cs: np.ndarray | None = None,
+) -> np.ndarray:
+    """Forward recurrence shared by the autograd node and the compile kernel.
+
+    Writes ``[h_t || c_t]`` into ``out`` (``[batch, steps, 2 * hs]``).  When
+    ``acts``/``tanh_cs`` are given, the per-step gate activations and
+    ``tanh(c_t)`` are stashed there for BPTT; otherwise a single scratch
+    buffer is recycled.  One function so the eager fused path and the
+    planned replay are bit-identical by construction.
+    """
+    batch, steps, _ = gx_data.shape
+    scratch = None if acts is not None else np.empty((batch, 4 * hs), dtype=out.dtype)
+    for t in range(steps):
+        gates = acts[t] if acts is not None else scratch
+        np.matmul(h, w_h, out=gates)
+        gates += gx_data[:, t, :]
+        # Sigmoid on the contiguous [i, f] and [o] blocks in place (two
+        # transcendental calls per step instead of three), tanh on [g].
+        for block in (gates[:, : 2 * hs], gates[:, 3 * hs :]):
+            np.negative(block, out=block)
+            np.exp(block, out=block)
+            block += 1.0
+            np.reciprocal(block, out=block)
+        g_blk = gates[:, 2 * hs : 3 * hs]
+        np.tanh(g_blk, out=g_blk)
+        c_next = out[:, t, hs:]
+        np.multiply(gates[:, hs : 2 * hs], c, out=c_next)  # f * c_prev
+        c_next += gates[:, 0:hs] * g_blk  # + i * g
+        tanh_c = tanh_cs[t] if tanh_cs is not None else np.empty_like(c_next)
+        np.tanh(c_next, out=tanh_c)
+        np.multiply(gates[:, 3 * hs :], tanh_c, out=out[:, t, :hs])  # o * tanh(c)
+        h = out[:, t, :hs]
+        c = c_next
+    return out
+
+
+@register_kernel("lstm_fused")
+def _build_lstm_kernel(params, out):
+    hidden = params["hidden"]
+
+    def fn(gx, w_h, h0, c0):
+        buffer = out
+        if buffer is None:
+            batch, steps, _ = gx.shape
+            buffer = np.empty((batch, steps, 2 * hidden), dtype=gx.dtype)
+        return _lstm_forward_np(
+            gx,
+            w_h,
+            h0.astype(gx.dtype, copy=False),
+            c0.astype(gx.dtype, copy=False),
+            hidden,
+            buffer,
+        )
+
+    return fn
+
+
 def _lstm_fused(
     gx: Tensor, weight_h: Tensor, h0: Tensor, c0: Tensor, hidden: int
 ) -> Tensor:
@@ -165,35 +231,22 @@ def _lstm_fused(
         t.requires_grad for t in (gx, weight_h, h0, c0)
     )
 
-    h = h0.data.astype(dtype, copy=False)
-    c = c0.data.astype(dtype, copy=False)
     out = np.empty((batch, steps, 2 * hs), dtype=dtype)
     # Activation stash for BPTT (allocated only while recording).  h_prev /
     # c_prev are not stashed: they are ``out[:, t-1]`` slices (or h0/c0).
     acts = np.empty((steps, batch, 4 * hs), dtype=dtype) if need_grad else None
     tanh_cs = np.empty((steps, batch, hs), dtype=dtype) if need_grad else None
-    scratch = None if need_grad else np.empty((batch, 4 * hs), dtype=dtype)
-    for t in range(steps):
-        gates = acts[t] if need_grad else scratch
-        np.matmul(h, w_h, out=gates)
-        gates += gx_data[:, t, :]
-        # Sigmoid on the contiguous [i, f] and [o] blocks in place (two
-        # transcendental calls per step instead of three), tanh on [g].
-        for block in (gates[:, : 2 * hs], gates[:, 3 * hs :]):
-            np.negative(block, out=block)
-            np.exp(block, out=block)
-            block += 1.0
-            np.reciprocal(block, out=block)
-        g_blk = gates[:, 2 * hs : 3 * hs]
-        np.tanh(g_blk, out=g_blk)
-        c_next = out[:, t, hs:]
-        np.multiply(gates[:, hs : 2 * hs], c, out=c_next)  # f * c_prev
-        c_next += gates[:, 0:hs] * g_blk  # + i * g
-        tanh_c = tanh_cs[t] if need_grad else np.empty_like(c_next)
-        np.tanh(c_next, out=tanh_c)
-        np.multiply(gates[:, 3 * hs :], tanh_c, out=out[:, t, :hs])  # o * tanh(c)
-        h = out[:, t, :hs]
-        c = c_next
+    _lstm_forward_np(
+        gx_data,
+        w_h,
+        h0.data.astype(dtype, copy=False),
+        c0.data.astype(dtype, copy=False),
+        hs,
+        out,
+        acts=acts,
+        tanh_cs=tanh_cs,
+    )
+    _trace("lstm_fused", out, (gx_data, w_h, h0.data, c0.data), hidden=hs)
 
     def backward(grad: np.ndarray) -> None:
         d_gx = np.empty((steps, batch, 4 * hs), dtype=dtype)

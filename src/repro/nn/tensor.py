@@ -32,6 +32,10 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.nn._tracer import _STATE as _TRACE_STATE
+from repro.nn._tracer import IndexSlot as _IndexSlot
+from repro.nn._tracer import trace as _trace
+
 __all__ = [
     "Tensor",
     "as_tensor",
@@ -161,6 +165,25 @@ def _index_has_no_duplicates(index) -> bool:
     return True
 
 
+def _trace_getitem(out: np.ndarray, source: np.ndarray, index) -> None:
+    """Record a ``__getitem__``; array-valued index parts become operands."""
+    if _TRACE_STATE.tape is None:
+        return
+    parts = index if isinstance(index, tuple) else (index,)
+    if any(isinstance(part, np.ndarray) for part in parts):
+        operands = [source]
+        template = []
+        for part in parts:
+            if isinstance(part, np.ndarray):
+                template.append(_IndexSlot(len(operands)))
+                operands.append(part)
+            else:
+                template.append(part)
+        _trace("getitem", out, tuple(operands), index=tuple(template))
+    else:
+        _trace("getitem", out, (source,), index=parts)
+
+
 class Tensor:
     """A numpy array plus the bookkeeping needed for reverse-mode autodiff."""
 
@@ -176,6 +199,10 @@ class Tensor:
         dtype: np.dtype | None = None,
     ) -> None:
         self.data = np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
+        if self.data is not data and isinstance(data, np.ndarray):
+            # A dtype cast on wrap breaks buffer identity for the tracer;
+            # record it so casted inputs still bind instead of freezing.
+            _trace("astype", self.data, (data,), dtype=self.data.dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_STATE.enabled
         self._parents = _parents if self.requires_grad else ()
@@ -305,6 +332,7 @@ class Tensor:
     def __add__(self, other) -> Tensor:
         other = as_tensor(other)
         data = self.data + other.data
+        _trace("add", data, (self.data, other.data))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -318,6 +346,7 @@ class Tensor:
 
     def __neg__(self) -> Tensor:
         data = -self.data
+        _trace("neg", data, (self.data,))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -334,6 +363,7 @@ class Tensor:
     def __mul__(self, other) -> Tensor:
         other = as_tensor(other)
         data = self.data * other.data
+        _trace("mul", data, (self.data, other.data))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -348,6 +378,7 @@ class Tensor:
     def __truediv__(self, other) -> Tensor:
         other = as_tensor(other)
         data = self.data / other.data
+        _trace("div", data, (self.data, other.data))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -366,6 +397,7 @@ class Tensor:
         if not np.isscalar(exponent):
             raise TypeError("Tensor.__pow__ only supports scalar exponents")
         data = self.data**exponent
+        _trace("pow", data, (self.data,), exponent=exponent)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -380,6 +412,7 @@ class Tensor:
                 f"matmul requires >=2-D operands, got {self.ndim}-D and {other.ndim}-D"
             )
         data = self.data @ other.data
+        _trace("matmul", data, (self.data, other.data))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -404,6 +437,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> Tensor:
         data = np.exp(self.data)
+        _trace("exp", data, (self.data,))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -413,6 +447,7 @@ class Tensor:
 
     def log(self) -> Tensor:
         data = np.log(self.data)
+        _trace("log", data, (self.data,))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -422,6 +457,7 @@ class Tensor:
 
     def sqrt(self) -> Tensor:
         data = np.sqrt(self.data)
+        _trace("sqrt", data, (self.data,))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -431,6 +467,7 @@ class Tensor:
 
     def abs(self) -> Tensor:
         data = np.abs(self.data)
+        _trace("abs", data, (self.data,))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -440,6 +477,7 @@ class Tensor:
 
     def tanh(self) -> Tensor:
         data = np.tanh(self.data)
+        _trace("tanh", data, (self.data,))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -449,6 +487,7 @@ class Tensor:
 
     def sigmoid(self) -> Tensor:
         data = 1.0 / (1.0 + np.exp(-self.data))
+        _trace("sigmoid", data, (self.data,))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -459,6 +498,7 @@ class Tensor:
     def relu(self) -> Tensor:
         mask = self.data > 0
         data = np.where(mask, self.data, 0.0)
+        _trace("relu", data, (self.data,))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -469,6 +509,7 @@ class Tensor:
     def leaky_relu(self, negative_slope: float = 0.2) -> Tensor:
         mask = self.data > 0
         data = np.where(mask, self.data, negative_slope * self.data)
+        _trace("leaky_relu", data, (self.data,), slope=negative_slope)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -480,6 +521,7 @@ class Tensor:
         """Clamp values; gradient is passed through only inside the range."""
         mask = (self.data >= low) & (self.data <= high)
         data = np.clip(self.data, low, high)
+        _trace("clip", data, (self.data,), low=low, high=high)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -492,6 +534,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> Tensor:
         data = self.data.sum(axis=axis, keepdims=keepdims)
+        _trace("sum", data, (self.data,), axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -515,6 +558,7 @@ class Tensor:
 
     def max(self, axis: int, keepdims: bool = False) -> Tensor:
         data = self.data.max(axis=axis, keepdims=keepdims)
+        _trace("max", data, (self.data,), axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -536,6 +580,7 @@ class Tensor:
             shape = tuple(shape[0])
         data = self.data.reshape(shape)
         original = self.shape
+        _trace("reshape", data, (self.data,), shape=data.shape)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -545,6 +590,7 @@ class Tensor:
 
     def transpose(self, axis1: int = -2, axis2: int = -1) -> Tensor:
         data = self.data.swapaxes(axis1, axis2)
+        _trace("transpose", data, (self.data,), axis1=axis1, axis2=axis2)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -554,6 +600,7 @@ class Tensor:
 
     def __getitem__(self, index) -> Tensor:
         data = self.data[index]
+        _trace_getitem(data, self.data, index)
         direct = _index_has_no_duplicates(index)
 
         def backward(grad: np.ndarray) -> None:
@@ -578,6 +625,7 @@ class Tensor:
         is the reversed cumulative sum of the incoming gradient.
         """
         data = np.cumsum(self.data, axis=axis)
+        _trace("cumsum", data, (self.data,), axis=axis)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -588,6 +636,7 @@ class Tensor:
 
     def squeeze(self, axis: int) -> Tensor:
         data = self.data.squeeze(axis=axis)
+        _trace("squeeze", data, (self.data,), axis=axis)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -597,6 +646,7 @@ class Tensor:
 
     def unsqueeze(self, axis: int) -> Tensor:
         data = np.expand_dims(self.data, axis=axis)
+        _trace("unsqueeze", data, (self.data,), axis=axis)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -605,14 +655,15 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def broadcast_to(self, shape: tuple[int, ...]) -> Tensor:
-        data = np.broadcast_to(self.data, shape)
+        data = np.array(np.broadcast_to(self.data, shape))
         original = self.shape
+        _trace("broadcast_to", data, (self.data,), shape=tuple(shape))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(_unbroadcast(grad, original))
 
-        return Tensor._make(np.array(data), (self,), backward)
+        return Tensor._make(data, (self,), backward)
 
 
 def as_tensor(value) -> Tensor:
@@ -628,6 +679,7 @@ def cat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     if not tensors:
         raise ValueError("cat() needs at least one tensor")
     data = np.concatenate([t.data for t in tensors], axis=axis)
+    _trace("cat", data, tuple(t.data for t in tensors), axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0, *sizes])
 
@@ -647,6 +699,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if not tensors:
         raise ValueError("stack() needs at least one tensor")
     data = np.stack([t.data for t in tensors], axis=axis)
+    _trace("stack", data, tuple(t.data for t in tensors), axis=axis)
 
     def backward(grad: np.ndarray) -> None:
         moved = np.moveaxis(grad, axis, 0)
@@ -663,6 +716,7 @@ def where(condition: np.ndarray, a, b) -> Tensor:
     a = as_tensor(a)
     b = as_tensor(b)
     data = np.where(condition, a.data, b.data)
+    _trace("where", data, (condition, a.data, b.data))
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
@@ -691,6 +745,7 @@ def select_rows(tensor: Tensor, indices: np.ndarray) -> Tensor:
         raise ValueError("select_rows index out of range of the first axis")
     columns = np.arange(indices.shape[0])
     data = tensor.data[indices, columns]
+    _trace("select_rows", data, (tensor.data, indices))
 
     def backward(grad: np.ndarray) -> None:
         if tensor.requires_grad:
@@ -707,13 +762,14 @@ def grad_reverse(tensor: Tensor, scale: float = 1.0) -> Tensor:
     invariant extractor learns domain-*indistinguishable* features while the
     domain classifier itself still learns to classify.
     """
-    data = tensor.data
+    data = np.array(tensor.data, copy=True)
+    _trace("copy", data, (tensor.data,))
 
     def backward(grad: np.ndarray) -> None:
         if tensor.requires_grad:
             tensor._accumulate(-scale * grad)
 
-    return Tensor._make(np.array(data, copy=True), (tensor,), backward)
+    return Tensor._make(data, (tensor,), backward)
 
 
 def flatten(tensor: Tensor, start_axis: int = 1) -> Tensor:

@@ -41,8 +41,15 @@ class ServingEngine:
         rng: np.random.Generator | int | None = 0,
         seed_per_flush: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        compile: bool | None = None,
     ) -> None:
         self.predictor = predictor
+        # ``compile=True`` turns on the predictor's planned fast path; the
+        # micro-batcher pads flushes to shape buckets, so the plan cache
+        # converges to a handful of entries.  ``None`` leaves the
+        # predictor's own setting untouched.
+        if compile is not None:
+            predictor.set_compile(compile)
         self.windows = StreamingWindows(
             obs_len=predictor.obs_len, max_neighbours=max_neighbours
         )

@@ -176,6 +176,7 @@ class ModelRegistry:
         name: str,
         version: int | None = None,
         dtype_policy: str = "module",
+        compile: bool = False,
     ) -> Predictor:
         """Load a version behind the uniform :class:`Predictor` interface.
 
@@ -183,6 +184,10 @@ class ModelRegistry:
         ----------
         name : registered model name.
         version : version to load; ``None`` loads the latest published one.
+        compile : enable the predictor's planned fast path (per-shape
+            execution plans replacing the eager graph; see
+            :mod:`repro.serve.predictor`).  Methods whose forward cannot be
+            captured fall back to eager automatically.
         dtype_policy : how a checkpoint/process dtype mismatch resolves —
             the contract of :func:`repro.nn.serialization.load_module`:
 
@@ -205,4 +210,4 @@ class ModelRegistry:
         """
         version = self.latest_version(name) if version is None else int(version)
         method = self.load_method(name, version, dtype_policy=dtype_policy)
-        return Predictor(method, name=name, version=version)
+        return Predictor(method, name=name, version=version, compile=compile)

@@ -930,6 +930,12 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--max-in-flight", type=int, default=256)
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--compile",
+        action="store_true",
+        help="serve through compiled execution plans (per-shape-bucket "
+        "caching; falls back to eager for uncapturable methods)",
+    )
     args = parser.parse_args(argv)
 
     registry = ModelRegistry(args.registry)
@@ -946,7 +952,10 @@ def main(argv: list[str] | None = None) -> None:
         name, _, version = spec.partition(":")
         resolved = int(version) if version else registry.latest_version(name)
         # One load per replica: each copy needs its own module tree.
-        replicas = [registry.load(name, resolved) for _ in range(args.replicas)]
+        replicas = [
+            registry.load(name, resolved, compile=args.compile)
+            for _ in range(args.replicas)
+        ]
         server.add_model(
             name,
             replicas,

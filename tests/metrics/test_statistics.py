@@ -59,3 +59,89 @@ class TestComputeStatistics:
         row = compute_statistics([constant_velocity_scene()]).as_row()
         assert row["domain"] == "d"
         assert "/" in row["Avg/Std v(x)"]
+
+
+# ----------------------------------------------------------------------
+# Statistical-equivalence tier (compiled-inference certification)
+# ----------------------------------------------------------------------
+from repro.metrics.statistics import (  # noqa: E402
+    EquivalenceReport,
+    assert_equivalent,
+    compare_samples,
+    ks_statistic,
+)
+
+
+class TestKsStatistic:
+    def test_identical_samples_have_zero_ks(self):
+        x = np.random.default_rng(0).standard_normal(500)
+        assert ks_statistic(x, x) == 0.0
+
+    def test_disjoint_supports_have_ks_one(self):
+        assert ks_statistic(np.zeros(50), np.ones(50)) == 1.0
+
+    def test_same_distribution_small_ks(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal(4000), rng.standard_normal(4000)
+        assert ks_statistic(a, b) < 0.05
+
+    def test_shifted_distribution_large_ks(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.standard_normal(4000), rng.standard_normal(4000) + 1.0
+        assert ks_statistic(a, b) > 0.3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), np.ones(3))
+
+
+class TestCompareSamples:
+    def test_exact_tier(self):
+        x = np.random.default_rng(3).standard_normal((4, 12, 2))
+        report = compare_samples(x, x.copy())
+        assert isinstance(report, EquivalenceReport)
+        assert report.exact and report.passed
+        assert report.max_abs_diff == 0.0 and report.ks == 0.0
+        assert report.shape == (4, 12, 2)
+
+    def test_tiny_perturbation_passes_distribution_tier(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((8, 12, 2))
+        y = x + 1e-9 * rng.standard_normal(x.shape)
+        report = compare_samples(x, y)
+        assert not report.exact
+        assert report.passed
+        assert report.max_abs_diff < 1e-8
+
+    def test_distribution_shift_fails(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((50, 12, 2))
+        report = compare_samples(x, x + 1.0)
+        assert not report.passed
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            compare_samples(np.zeros((2, 3)), np.zeros((3, 2)))
+
+    def test_as_dict_is_json_friendly(self):
+        import json
+
+        report = compare_samples(np.ones((2, 2)), np.ones((2, 2)))
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["exact"] is True and payload["passed"] is True
+
+
+class TestAssertEquivalent:
+    def test_passes_and_returns_report(self):
+        x = np.random.default_rng(6).standard_normal(100)
+        assert assert_equivalent(x, x).exact
+
+    def test_require_exact_raises_on_epsilon(self):
+        x = np.random.default_rng(7).standard_normal(100)
+        with pytest.raises(AssertionError, match="not bit-identical"):
+            assert_equivalent(x, x + 1e-12, require_exact=True)
+
+    def test_distribution_failure_raises(self):
+        x = np.random.default_rng(8).standard_normal(200)
+        with pytest.raises(AssertionError, match="statistical equivalence failed"):
+            assert_equivalent(x, x + 5.0)

@@ -1,0 +1,211 @@
+"""Graph capture + planned execution (``repro.nn.compile``).
+
+The contract under test: capturing one ``inference_mode`` forward yields a
+:class:`Plan` whose replay is **bit-identical** to the eager path — for new
+input arrays, new seeds, and repeated runs — because every kernel mirrors
+the eager numpy expression exactly and the recorded schedule fixes the RNG
+consumption order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, CompileError, Tensor, capture, cat
+from repro.nn.compile import Plan
+from repro.nn._tracer import active_tape
+
+
+def mlp_forward(mlp):
+    def fn(x_arr):
+        return lambda rng: mlp(Tensor(x_arr)).data
+
+    return fn
+
+
+class TestCaptureReplay:
+    def test_mlp_replay_is_bit_identical(self):
+        mlp = MLP([4, 8, 3], rng=0)
+        x = np.random.default_rng(1).standard_normal((5, 4))
+        plan = capture(
+            lambda rng: mlp(Tensor(x)).data,
+            inputs={"x": x},
+            rng=np.random.default_rng(0),
+        )
+        x2 = np.random.default_rng(2).standard_normal((5, 4))
+        eager = mlp(Tensor(x2)).data
+        compiled = plan.run({"x": x2}, np.random.default_rng(0))
+        assert np.array_equal(eager, compiled)
+
+    def test_repeated_runs_do_not_alias_buffers(self):
+        mlp = MLP([4, 8, 3], rng=0)
+        x = np.random.default_rng(1).standard_normal((5, 4))
+        plan = capture(
+            lambda rng: mlp(Tensor(x)).data,
+            inputs={"x": x},
+            rng=np.random.default_rng(0),
+        )
+        first = plan.run({"x": x}, np.random.default_rng(0))
+        snapshot = first.copy()
+        plan.run({"x": x * 2.0}, np.random.default_rng(0))
+        # The returned array is a copy, not a view into the arena.
+        assert np.array_equal(first, snapshot)
+
+    def test_rng_consumption_matches_eager(self):
+        def fn_factory(x_arr):
+            def fn(rng):
+                noise = rng.standard_normal(x_arr.shape)
+                return (Tensor(x_arr) + Tensor(noise)).data
+
+            return fn
+
+        x = np.random.default_rng(3).standard_normal((4, 2))
+        plan = capture(fn_factory(x), inputs={"x": x}, rng=np.random.default_rng(0))
+        seed = 77
+        eager = fn_factory(x)(np.random.default_rng(seed))
+        compiled = plan.run({"x": x}, np.random.default_rng(seed))
+        assert np.array_equal(eager, compiled)
+
+    def test_dead_rng_draws_keep_stream_alignment(self):
+        def fn_factory(x_arr):
+            def fn(rng):
+                rng.standard_normal((3, 3))  # drawn but unused
+                noise = rng.standard_normal(x_arr.shape)
+                return (Tensor(x_arr) + Tensor(noise)).data
+
+            return fn
+
+        x = np.random.default_rng(4).standard_normal((2, 2))
+        plan = capture(fn_factory(x), inputs={"x": x}, rng=np.random.default_rng(0))
+        eager = fn_factory(x)(np.random.default_rng(11))
+        compiled = plan.run({"x": x}, np.random.default_rng(11))
+        assert np.array_equal(eager, compiled)
+
+    def test_constant_subgraphs_fold_at_plan_time(self):
+        w = np.random.default_rng(5).standard_normal((4, 4))
+
+        def fn_factory(x_arr):
+            def fn(rng):
+                const = (Tensor(w) @ Tensor(w)).tanh()  # input-independent
+                return (Tensor(x_arr) @ const).data
+
+            return fn
+
+        x = np.random.default_rng(6).standard_normal((3, 4))
+        plan = capture(fn_factory(x), inputs={"x": x}, rng=np.random.default_rng(0))
+        x2 = x * -3.0
+        assert np.array_equal(
+            fn_factory(x2)(np.random.default_rng(0)),
+            plan.run({"x": x2}, np.random.default_rng(0)),
+        )
+
+    def test_multi_input_capture(self):
+        def fn_factory(a_arr, b_arr):
+            def fn(rng):
+                return cat([Tensor(a_arr).tanh(), Tensor(b_arr).sigmoid()], axis=-1).data
+
+            return fn
+
+        rng = np.random.default_rng(7)
+        a, b = rng.standard_normal((4, 3)), rng.standard_normal((4, 2))
+        plan = capture(
+            fn_factory(a, b), inputs={"a": a, "b": b}, rng=np.random.default_rng(0)
+        )
+        a2, b2 = rng.standard_normal((4, 3)), rng.standard_normal((4, 2))
+        assert np.array_equal(
+            fn_factory(a2, b2)(np.random.default_rng(0)),
+            plan.run({"a": a2, "b": b2}, np.random.default_rng(0)),
+        )
+
+
+class TestErrors:
+    def test_shape_mismatch_raises(self):
+        x = np.ones((3, 4))
+        plan = capture(
+            lambda rng: Tensor(x).tanh().data,
+            inputs={"x": x},
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(CompileError, match="captured for"):
+            plan.run({"x": np.ones((2, 4))}, np.random.default_rng(0))
+
+    def test_untraced_output_raises(self):
+        x = np.ones((3,))
+        with pytest.raises(CompileError, match="not produced by traced ops"):
+            capture(
+                lambda rng: np.cumprod(x),  # raw numpy, never enters the tape
+                inputs={"x": x},
+                rng=np.random.default_rng(0),
+            )
+
+    def test_input_free_capture_raises(self):
+        with pytest.raises(CompileError):
+            capture(
+                lambda rng: Tensor(np.ones((2, 2))).tanh().data,
+                inputs={},
+                rng=np.random.default_rng(0),
+            )
+
+    def test_nested_capture_raises(self):
+        x = np.ones((2, 2))
+
+        def outer(rng):
+            capture(
+                lambda r: Tensor(x).tanh().data,
+                inputs={"x": x},
+                rng=np.random.default_rng(0),
+            )
+            return Tensor(x).tanh().data
+
+        with pytest.raises(CompileError, match="nest"):
+            capture(outer, inputs={"x": x}, rng=np.random.default_rng(0))
+
+    def test_tape_is_cleared_after_capture_failure(self):
+        x = np.ones((3,))
+        with pytest.raises(CompileError):
+            capture(lambda rng: np.cumprod(x), inputs={"x": x}, rng=np.random.default_rng(0))
+        assert active_tape() is None
+
+
+class TestMaskedHelpers:
+    def test_masked_paths_stay_dynamic(self):
+        """Mask-dependent values (``any``/count clamps) must re-evaluate per
+        run, not freeze into the plan at capture time."""
+        from repro.nn import SocialPooling
+
+        pool = SocialPooling(6, 4, rng=0)
+        rng = np.random.default_rng(8)
+        h = rng.standard_normal((4, 6))
+        nbrs = rng.standard_normal((4, 3, 6))
+
+        def fn_factory(mask_arr):
+            def fn(r):
+                return pool(Tensor(h), Tensor(nbrs), mask_arr).data
+
+            return fn
+
+        mask = np.array([[1, 1, 0], [0, 0, 0], [1, 0, 1], [0, 1, 0]], dtype=bool)
+        plan = capture(
+            fn_factory(mask), inputs={"mask": mask}, rng=np.random.default_rng(0)
+        )
+        # Flip the mask — including an all-empty row becoming populated.
+        mask2 = np.array([[0, 0, 1], [1, 1, 1], [0, 1, 0], [0, 0, 0]], dtype=bool)
+        assert np.array_equal(
+            fn_factory(mask2)(np.random.default_rng(0)),
+            plan.run({"mask": mask2}, np.random.default_rng(0)),
+        )
+
+
+class TestPlanIntrospection:
+    def test_plan_reports_steps_and_shape(self):
+        mlp = MLP([4, 8, 3], rng=0)
+        x = np.zeros((5, 4))
+        plan = capture(
+            lambda rng: mlp(Tensor(x)).data,
+            inputs={"x": x},
+            rng=np.random.default_rng(0),
+        )
+        assert isinstance(plan, Plan)
+        assert plan.num_steps > 0
+        assert plan.output_shape == (5, 3)

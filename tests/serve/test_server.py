@@ -340,6 +340,51 @@ class TestRealModelEquivalence:
             for row, (_, served, _) in enumerate(rows):
                 np.testing.assert_allclose(served, offline_world[:, row], atol=1e-6)
 
+    def test_compiled_predictions_replay_offline(
+        self, trained_vanilla, request_factory
+    ):
+        """The compiled fast path preserves the offline-replay invariant:
+        samples served through planned execution recompose from
+        ``(seed, batch_id)`` against the *eager* reference to 1e-6 — the
+        ISSUE acceptance gate for serving-side compilation."""
+        from repro.serve import Predictor, collate_requests
+
+        predictor = Predictor(trained_vanilla, compile=True)
+        seed, num_samples = 42, 2
+        server = AsyncServingServer(max_in_flight=64, workers=2, seed=seed)
+        server.add_model("vanilla", predictor, num_samples=num_samples)
+        with ServerThread(server):
+            host, port = server.address
+            sent = []
+            with ServingClient.connect(host, port) as client:
+                for i in range(8):
+                    request = request_factory(i, num_neighbours=i % 3)
+                    samples, meta = client.predict(
+                        "vanilla",
+                        request.obs,
+                        neighbours=request.neighbours,
+                        return_meta=True,
+                    )
+                    sent.append((request, samples, meta))
+        stats = predictor.compile_stats()
+        assert stats["broken"] is None, stats
+        assert stats["plans"] > 0 and stats["fallbacks"] == 0, stats
+        by_batch: dict[int, list] = {}
+        for request, samples, meta in sent:
+            by_batch.setdefault(meta["batch_id"], []).append((request, samples, meta))
+        for batch_id, rows in by_batch.items():
+            rows.sort(key=lambda entry: entry[2]["row"])
+            batch = collate_requests(
+                [request for request, _, _ in rows], pred_len=predictor.pred_len
+            )
+            # Eager reference replay — bypasses the plan cache on purpose.
+            offline = trained_vanilla.predict(
+                batch, num_samples, np.random.default_rng((seed, batch_id))
+            )
+            offline_world = offline + batch.origins[None, :, None, :]
+            for row, (_, served, _) in enumerate(rows):
+                np.testing.assert_allclose(served, offline_world[:, row], atol=1e-6)
+
 
 class TestShutdown:
     @pytest.mark.server_config(model={"max_wait": 30.0, "max_batch_size": 64})

@@ -97,3 +97,30 @@ def test_serving_allocates_no_grad_state(trained_vanilla, streamed_scene):
 
     assert all(p.grad is None for p in module.parameters())
     assert module.training  # restored, not force-reset
+
+
+def test_compiled_engine_matches_eager_engine(trained_vanilla, streamed_scene):
+    """``ServingEngine(compile=True)`` serves bit-identical predictions to
+    the eager engine on the same stream, and actually hits the plan cache."""
+    scene, tracks, start = streamed_scene
+    mid = start + OBS_LEN
+
+    def run_engine(compile_flag):
+        predictor = Predictor(trained_vanilla)
+        engine = ServingEngine(
+            predictor, num_samples=2, max_batch_size=64, rng=0, compile=compile_flag
+        )
+        for frame in range(start, mid):
+            engine.ingest_frame(
+                frame,
+                {t.agent_id: tuple(t.positions[frame - t.start_frame]) for t in tracks},
+            )
+        return engine.predict_ready(mid - 1), predictor
+
+    eager_served, _ = run_engine(False)
+    compiled_served, compiled_predictor = run_engine(True)
+    stats = compiled_predictor.compile_stats()
+    assert stats["broken"] is None and stats["plans"] > 0, stats
+    assert set(eager_served) == set(compiled_served)
+    for agent_id in eager_served:
+        np.testing.assert_array_equal(eager_served[agent_id], compiled_served[agent_id])
