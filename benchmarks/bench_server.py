@@ -27,6 +27,15 @@ acceptance gates:
   which replica ran a batch.
 * **v1 compatibility** — a protocol-v1 JSON-only client completes the full
   observe -> predict -> stats flow against the v2 server.
+* **tail latency (PR 7)** — the server-side latency *histogram* (not the
+  client's stopwatch) must report p99 <= ``MAX_P99_RATIO`` x p50 under the
+  closed-loop concurrent load, read back through the ``metrics`` op.
+* **instrumentation overhead (PR 7)** — the sequential predict path on an
+  ``instrument=True`` server must cost <= ``MAX_INSTRUMENT_OVERHEAD`` (5%)
+  over an ``instrument=False`` server (interleaved min-of-blocks on both
+  sides, pairing machine noise).
+  Traced requests (``trace=True``) ride along and their replay must still
+  hold — telemetry is additive or it is a bug.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_server.py``) or via
 pytest (``python -m pytest benchmarks/bench_server.py``).
@@ -35,6 +44,7 @@ pytest (``python -m pytest benchmarks/bench_server.py``).
 from __future__ import annotations
 
 import json
+import math
 import os
 import socket
 import threading
@@ -76,6 +86,15 @@ MAX_BINARY_RATIO = 0.40
 #: the gate measures exactly this scaling-under-concurrency contract.
 MAX_WAIT = 0.002
 FLUSH_INTERVAL = 0.0005
+#: Tail-latency gate: server-side histogram p99 must stay within this factor
+#: of p50 under the closed-loop load.  Closed-loop clients bound queueing, so
+#: a healthy tail sits at 2-4x; 10x is the CI-safe alarm threshold.
+MAX_P99_RATIO = 10.0
+#: Instrumented sequential predict path may cost at most this much over the
+#: uninstrumented one (fractional; min-of-blocks both sides).
+MAX_INSTRUMENT_OVERHEAD = 0.05
+#: Blocks for the overhead comparison (more min-of samples = less jitter).
+OVERHEAD_BLOCKS = 5
 
 
 def make_predictor(seed: int = 0) -> Predictor:
@@ -99,10 +118,14 @@ def request_payload(client_id: int, index: int, obs_len: int = 8):
 
 
 def start_server(
-    predictors, num_samples: int = NUM_SAMPLES
+    predictors, num_samples: int = NUM_SAMPLES, instrument: bool = True
 ) -> tuple[ServerThread, str, int]:
     server = AsyncServingServer(
-        max_in_flight=512, workers=2, seed=SEED, flush_interval=FLUSH_INTERVAL
+        max_in_flight=512,
+        workers=2,
+        seed=SEED,
+        flush_interval=FLUSH_INTERVAL,
+        instrument=instrument,
     )
     server.add_model(
         MODEL,
@@ -356,14 +379,131 @@ def bench_replicas_and_binary(blocks: int = 2) -> dict:
     return results
 
 
+def run_traced_client(
+    host: str, port: int, client_id: int, num_requests: int
+) -> list:
+    """A closed-loop client with ``trace=True`` on every predict.
+
+    Returns the same ``(client_id, index, samples, meta)`` records as
+    :func:`run_client` — with ``meta["trace"]`` present — so traced records
+    drop straight into :func:`check_equivalence`: telemetry must be additive
+    to the replay invariant.
+    """
+    records = []
+    with ServingClient.connect(host, port) as client:
+        for index in range(num_requests):
+            obs, neighbours = request_payload(client_id, index)
+            samples, meta = client.predict(
+                MODEL, obs, neighbours=neighbours, trace=True
+            )
+            assert "trace" in meta, f"trace=True returned no trace meta: {meta}"
+            stages = meta["trace"]["stages"]
+            missing = {"admission", "queue_wait", "inference"} - set(stages)
+            assert not missing, f"trace meta missing stages {missing}: {stages}"
+            records.append((client_id, index, samples, meta))
+    return records
+
+
+def _latency_snapshot(metrics_result: dict) -> dict:
+    """The served model's latency-histogram snapshot out of a metrics reply."""
+    histograms = metrics_result["metrics"]["histograms"]
+    key = f"serve_latency_seconds{{model={MODEL}}}"
+    assert key in histograms, f"{key} not in {sorted(histograms)}"
+    return histograms[key]
+
+
+def bench_observability(blocks: int = 2) -> dict:
+    """PR 7 gates: histogram-sourced p99, instrumentation overhead, tracing.
+
+    Phase 1 (instrumented server): sequential timing, concurrent closed-loop
+    load, a traced client, then the ``metrics``-op histogram read-back and
+    an offline replay of *every* record (traced included).  Phase 2
+    (``instrument=False`` server): the identical sequential timing — the
+    overhead denominator.
+    """
+    predictor = make_predictor()
+    thread, host, port = start_server(predictor)
+    plain_thread, plain_host, plain_port = start_server(
+        make_predictor(), instrument=False
+    )
+    try:
+        # Overhead measurement: *interleaved* min-of-blocks against both
+        # servers, so slow-machine drift (CPU contention, frequency scaling)
+        # lands on both sides of the ratio instead of biasing one — back-to-
+        # back phases made the 5% gate flaky on shared runners.
+        run_load(host, port, 2, 4)  # warm-up: BLAS pools, lazy allocations
+        run_load(plain_host, plain_port, 2, 4)
+        instrumented_s = uninstrumented_s = math.inf
+        for _ in range(OVERHEAD_BLOCKS):
+            instrumented_s = min(
+                instrumented_s, run_load(host, port, 1, SEQUENTIAL_REQUESTS)[0]
+            )
+            uninstrumented_s = min(
+                uninstrumented_s,
+                run_load(plain_host, plain_port, 1, SEQUENTIAL_REQUESTS)[0],
+            )
+        with ServingClient.connect(plain_host, plain_port) as client:
+            plain_metrics = client.metrics()  # op answers; instrument=False
+    finally:
+        plain_thread.stop()
+    assert plain_metrics["instrument"] is False
+
+    try:
+        records: list = []
+        for _ in range(blocks):
+            records.extend(
+                run_load(host, port, NUM_CLIENTS, REQUESTS_PER_CLIENT)[1]
+            )
+        records.extend(run_traced_client(host, port, 77, 8))
+        with ServingClient.connect(host, port) as client:
+            metrics_result = client.metrics()
+            model_stats = client.stats()["models"][MODEL]
+        batches_checked = check_equivalence(predictor, records)
+    finally:
+        thread.stop()
+
+    latency = _latency_snapshot(metrics_result)
+    stage_keys = [
+        key
+        for key in metrics_result["metrics"]["histograms"]
+        if key.startswith("serve_stage_seconds")
+    ]
+
+    return {
+        "num_clients": NUM_CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "latency_count": latency["count"],
+        "p50_s": latency["p50"],
+        "p95_s": latency["p95"],
+        "p99_s": latency["p99"],
+        "max_s": latency["max"],
+        "stats_p99_s": model_stats["latency"]["p99_s"],
+        "stage_histograms": sorted(stage_keys),
+        "instrumented_sequential_s": round(instrumented_s, 4),
+        "uninstrumented_sequential_s": round(uninstrumented_s, 4),
+        "instrument_overhead": round(
+            max(0.0, instrumented_s / uninstrumented_s - 1.0), 4
+        ),
+        "traced_requests": 8,
+        "equivalence_batches_checked": batches_checked,
+    }
+
+
 def bench(blocks: int = 2) -> dict:
     return {
         "coalescing": bench_coalescing(blocks),
         "replicas_and_binary": bench_replicas_and_binary(blocks),
+        "observability": bench_observability(blocks),
     }
 
 
 def write_results(stats: dict) -> None:
+    try:  # stamp run provenance when the benchmarks package is importable
+        from benchmarks.cli import provenance
+
+        stats = {**stats, "provenance": provenance()}
+    except ImportError:  # bare script mode without the repo root on sys.path
+        pass
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "bench_server.json"), "w") as fh:
         json.dump(stats, fh, indent=2)
@@ -393,6 +533,20 @@ def assert_gates(stats: dict) -> None:
             f"2 replicas only {replicas['replica_speedup']:.2f}x over 1 on "
             f"{os.cpu_count()} CPUs (gate: {MIN_REPLICA_SPEEDUP}x): {replicas}"
         )
+    obs = stats["observability"]
+    assert obs["latency_count"] > 0, f"latency histogram recorded nothing: {obs}"
+    # The tail gate reads the *server-side* histogram (the metrics op), not a
+    # client stopwatch: p50 is floored at 0.1ms so an implausibly-fast run
+    # cannot turn the ratio into a divide-by-noise.
+    assert obs["p99_s"] <= MAX_P99_RATIO * max(obs["p50_s"], 1e-4), (
+        f"server-side p99 {obs['p99_s'] * 1e3:.2f}ms exceeds "
+        f"{MAX_P99_RATIO}x p50 {obs['p50_s'] * 1e3:.2f}ms under the "
+        f"closed-loop load: {obs}"
+    )
+    assert obs["instrument_overhead"] <= MAX_INSTRUMENT_OVERHEAD, (
+        f"instrumentation costs {obs['instrument_overhead']:.1%} on the "
+        f"sequential predict path (gate: <= {MAX_INSTRUMENT_OVERHEAD:.0%}): {obs}"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,46 @@ BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
+def _git_sha() -> str | None:
+    """The checked-out commit, or None outside a git checkout / without git."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance() -> dict:
+    """Run provenance stamped into every ``BENCH_*.json`` record.
+
+    Commit sha, UTC timestamp, platform, and python/numpy versions — the
+    minimum needed to line BENCH files up into a comparable perf trajectory
+    (a latency regression means nothing without knowing what ran where).
+    """
+    import datetime
+    import platform
+    import sys
+
+    import numpy
+
+    return {
+        "git_sha": _git_sha(),
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+    }
+
+
 def write_bench_json(name: str, payload: dict) -> str:
     """Write the machine-readable ``BENCH_<name>.json`` at the repo root.
 
@@ -38,11 +78,14 @@ def write_bench_json(name: str, payload: dict) -> str:
     rename) so a crashed run never leaves a truncated artifact for the
     workflow's artifact-upload step to pick up.  ``name`` is slugified
     (human titles like ``"Table I (dataset statistics)"`` become
-    ``table_i_dataset_statistics``) so the filename is shell-safe.
+    ``table_i_dataset_statistics``) so the filename is shell-safe.  A
+    :func:`provenance` block is merged in (caller-supplied provenance wins)
+    so the records form a comparable trajectory across commits/hosts.
     """
     slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
     path = os.path.join(REPO_ROOT, f"BENCH_{slug}.json")
     tmp = f"{path}.tmp"
+    payload = {**payload, "provenance": {**provenance(), **payload.get("provenance", {})}}
     with open(tmp, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True, default=float)
         handle.write("\n")

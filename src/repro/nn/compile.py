@@ -32,6 +32,7 @@ see their golden tests).
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable, Mapping
 
 import numpy as np
@@ -493,7 +494,10 @@ class Plan:
         # -- slot assignment + steps in recorded (program) order.
         self._values: list = []
         self._steps: list[Callable] = []
+        self._step_names: list[str] = []
         self._input_binds: list[tuple[str, int, tuple, np.dtype]] = []
+        self._arena_buffers = 0
+        self._arena_bytes = 0
         for node in nodes:
             if not node.live:
                 continue
@@ -517,6 +521,8 @@ class Plan:
         self._out_slot = output.slot
         self.num_steps = len(self._steps)
         self.output_shape = output.array.shape
+        self.runs = 0
+        self._profile: dict[str, list] | None = None
         # Dynamic nodes' captured arrays are dead weight once buffers exist.
         for node in nodes:
             if node.live and node.kind in ("op", "rng"):
@@ -531,6 +537,7 @@ class Plan:
             method = node.rng_method
             args = node.rng_args
             kwargs = node.rng_kwargs
+            self._step_names.append(f"rng:{method}")
 
             def rng_step(rng, _s=slot, _m=method, _a=args, _k=kwargs):
                 values[_s] = getattr(rng, _m)(*_a, **_k)
@@ -543,6 +550,9 @@ class Plan:
         buffer = None
         if node.kernel not in UNBUFFERED_KERNELS:
             buffer = np.empty(node.array.shape, dtype=node.array.dtype)
+            self._arena_buffers += 1
+            self._arena_bytes += buffer.nbytes
+        self._step_names.append(node.kernel)
         fn = builder(node.params, buffer)
         in_slots = tuple(op.slot for op in node.operands)
         if len(in_slots) == 1:
@@ -591,6 +601,58 @@ class Plan:
                         f"plan was captured for {shape}/{dtype}"
                     )
                 values[slot] = array
-            for step in self._steps:
-                step(rng)
+            self.runs += 1
+            profile = self._profile
+            if profile is None:
+                for step in self._steps:
+                    step(rng)
+            else:
+                clock = time.perf_counter
+                for name, step in zip(self._step_names, self._steps):
+                    started = clock()
+                    step(rng)
+                    elapsed = clock() - started
+                    cell = profile.get(name)
+                    if cell is None:
+                        profile[name] = [1, elapsed]
+                    else:
+                        cell[0] += 1
+                        cell[1] += elapsed
             return np.array(values[self._out_slot], copy=True)
+
+    # ------------------------------------------------------------------
+    def set_profile(self, enabled: bool) -> None:
+        """Toggle per-kernel wall-time aggregation on :meth:`run`.
+
+        Off by default: the unprofiled path keeps the bare step loop so
+        profiling costs nothing when disabled.  Enabling resets any
+        previously collected profile.
+        """
+        with self._lock:
+            self._profile = {} if enabled else None
+
+    def stats(self) -> dict:
+        """JSON-ready plan telemetry: schedule, arena, runs, kernel profile.
+
+        ``kernels`` maps kernel name (``rng:<method>`` for RNG draws) to
+        cumulative call count and wall seconds; it is empty unless
+        :meth:`set_profile` enabled profiling.
+        """
+        with self._lock:
+            profile = (
+                {}
+                if self._profile is None
+                else {name: list(cell) for name, cell in self._profile.items()}
+            )
+            runs = self.runs
+        return {
+            "num_steps": self.num_steps,
+            "output_shape": list(self.output_shape),
+            "runs": runs,
+            "arena": {"buffers": self._arena_buffers, "bytes": self._arena_bytes},
+            "profile_enabled": self._profile is not None,
+            "kernels": {
+                name: {"calls": calls, "total_s": round(total, 6)}
+                for name, (calls, total) in sorted(profile.items())
+            },
+        }

@@ -1,0 +1,89 @@
+"""Structured JSON-line logging for the serving stack.
+
+One event per line, one JSON object per line::
+
+    {"ts": "2026-08-08T12:00:00.000000+00:00", "level": "info",
+     "logger": "repro.serve", "event": "server_started",
+     "host": "127.0.0.1", "port": 8707}
+
+The emitter is deliberately tiny — no handlers, no formatters, no global
+configuration — because the serving stack needs exactly one thing from a
+logger: machine-parseable lines that a log shipper (or a test capturing
+the stream) can consume without a grammar.  Fields that are not JSON-native
+are rendered with ``str`` rather than raising, so a log call can never take
+the server down.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import json
+import sys
+import threading
+
+__all__ = ["JsonLogger", "get_logger"]
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+class JsonLogger:
+    """Thread-safe one-line-per-event JSON logger.
+
+    ``stream`` defaults to ``sys.stderr`` resolved *at emit time* so tests
+    that swap ``sys.stderr`` (or capture it) see the lines; pass an explicit
+    stream to pin the destination.
+    """
+
+    __slots__ = ("name", "_stream", "_lock")
+
+    def __init__(self, name: str, stream: io.TextIOBase | None = None) -> None:
+        self.name = name
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def log(self, event: str, level: str = "info", **fields) -> dict:
+        """Emit one event line; returns the record (handy in tests)."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; expected one of {LEVELS}")
+        record = {
+            "ts": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, default=str)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+            try:
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # closed/broken stream must not propagate into serving
+        return record
+
+    def debug(self, event: str, **fields) -> dict:
+        return self.log(event, level="debug", **fields)
+
+    def info(self, event: str, **fields) -> dict:
+        return self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields) -> dict:
+        return self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields) -> dict:
+        return self.log(event, level="error", **fields)
+
+
+_loggers: dict[str, JsonLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> JsonLogger:
+    """Process-wide logger lookup: one :class:`JsonLogger` per name."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = JsonLogger(name)
+        return logger

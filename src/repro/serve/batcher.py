@@ -113,16 +113,21 @@ class PendingPrediction:
     __slots__ = (
         "request",
         "enqueued_at",
+        "popped_at",
         "_samples",
         "_error",
         "batch_id",
         "batch_row",
         "batch_size",
+        "stage_s",
     )
 
     def __init__(self, request: PredictRequest, enqueued_at: float) -> None:
         self.request = request
         self.enqueued_at = enqueued_at
+        #: When the request left the queue for a flush chunk (batcher clock);
+        #: ``popped_at - enqueued_at`` is the queue-wait stage.
+        self.popped_at: float | None = None
         self._samples: np.ndarray | None = None
         self._error: BaseException | None = None
         #: Which flush served this request (set at fulfilment): the flush's
@@ -132,6 +137,11 @@ class PendingPrediction:
         self.batch_id: int | None = None
         self.batch_row: int | None = None
         self.batch_size: int | None = None
+        #: Lifecycle stage durations (queue_wait/route/coalesce/inference),
+        #: set at fulfilment — the raw material of request tracing
+        #: (:mod:`repro.obs.trace`).  Chunk-level stages are shared by every
+        #: handle of the flush; ``queue_wait`` is per handle.
+        self.stage_s: dict[str, float] | None = None
 
     @property
     def done(self) -> bool:
@@ -204,6 +214,10 @@ class FlushChunk:
 
     batch_id: int
     handles: list[PendingPrediction] = field(default_factory=list)
+    #: When the scheduler dispatched this chunk (batcher clock).  Set by the
+    #: async server before hand-off; ``run_chunk`` turns it into the
+    #: ``route`` stage (scheduling + replica-lock wait + executor hop).
+    scheduled_at: float | None = None
 
     @property
     def size(self) -> int:
@@ -394,9 +408,13 @@ class MicroBatcher:
         """
         if not chunk.handles:
             return []
+        stage: dict[str, float] = {}
+        if chunk.scheduled_at is not None:
+            stage["route"] = self.clock() - chunk.scheduled_at
         try:
             samples = self._predict(
-                [h.request for h in chunk.handles], chunk.batch_id, predictor
+                [h.request for h in chunk.handles], chunk.batch_id, predictor,
+                timings=stage,
             )
         except BaseException as error:
             for handle in chunk.handles:
@@ -408,6 +426,7 @@ class MicroBatcher:
             handle.batch_id = chunk.batch_id
             handle.batch_row = row
             handle.batch_size = len(chunk.handles)
+            handle.stage_s = self._handle_stages(handle, stage)
             handle._set_result(samples[:, row])
         with self._lock:
             self.total_batches += 1
@@ -440,6 +459,9 @@ class MicroBatcher:
         handles, self._pending = self._pending[:limit], self._pending[limit:]
         chunk = FlushChunk(batch_id=self._next_batch_id, handles=handles)
         self._next_batch_id += 1
+        popped_at = self.clock()  # one read per chunk, shared by its handles
+        for handle in handles:
+            handle.popped_at = popped_at
         return chunk
 
     def _flush_rng(self, batch_id: int) -> np.random.Generator:
@@ -448,30 +470,52 @@ class MicroBatcher:
             return self.rng
         return np.random.default_rng((self.seed_per_flush, batch_id))
 
+    @staticmethod
+    def _handle_stages(
+        handle: PendingPrediction, chunk_stage: dict[str, float]
+    ) -> dict[str, float]:
+        """One handle's lifecycle stages: shared chunk stages + queue wait."""
+        stages = dict(chunk_stage)
+        if handle.popped_at is not None:
+            stages["queue_wait"] = handle.popped_at - handle.enqueued_at
+        return stages
+
     def _predict(
         self,
         requests: list[PredictRequest],
         batch_id: int,
         predictor: Predictor | None = None,
+        timings: dict[str, float] | None = None,
     ) -> np.ndarray:
         predictor = self.predictor if predictor is None else predictor
+        collate_started = self.clock()
         batch = collate_requests(
             requests,
             pred_len=predictor.pred_len,
             max_neighbours=self.max_neighbours,
         )
+        predict_started = self.clock()
         # One padded batch through the vectorized hot path — never a
         # Python loop over requests.
-        return predictor.predict_world(
+        samples = predictor.predict_world(
             batch, self.num_samples, self._flush_rng(batch_id)
         )
+        if timings is not None:
+            # Three clock reads per *chunk*, not per request — cheap enough
+            # to capture unconditionally when the caller asks.
+            timings["coalesce"] = predict_started - collate_started
+            timings["inference"] = self.clock() - predict_started
+        return samples
 
     def _flush_locked(self, limit: int) -> list[PendingPrediction]:
         if not self._pending:
             return []
         chunk = self._pop_chunk_locked(limit)
+        stage: dict[str, float] = {}
         try:
-            samples = self._predict([h.request for h in chunk.handles], chunk.batch_id)
+            samples = self._predict(
+                [h.request for h in chunk.handles], chunk.batch_id, timings=stage
+            )
         except BaseException:
             # Don't lose the coalesced requests on a failed flush: put them
             # back at the head of the queue so a later poll/flush retries.
@@ -483,6 +527,7 @@ class MicroBatcher:
             handle.batch_id = chunk.batch_id
             handle.batch_row = row
             handle.batch_size = len(chunk.handles)
+            handle.stage_s = self._handle_stages(handle, stage)
             handle._set_result(samples[:, row])
         self.total_batches += 1
         self.total_completed += len(chunk.handles)

@@ -344,6 +344,17 @@ class ServingClient:
         """Server and per-model counters (queue depth, latency, overloads)."""
         return self.call("stats")
 
+    def metrics(self) -> dict:
+        """The server's instrument-registry snapshot.
+
+        ``result["metrics"]`` groups counters/gauges/histograms keyed
+        ``name{label=value,...}``; each histogram snapshot carries bucket
+        counts and interpolated p50/p95/p99 (see ``docs/observability.md``).
+        ``result["instrument"]`` is False when the server was started with
+        ``instrument=False`` — the snapshot is then (mostly) empty.
+        """
+        return self.call("metrics")
+
     def observe(self, model: str, frame: int, positions: dict) -> dict:
         """Feed one frame of ``{agent_id: (x, y)}`` into this connection's
         private streaming windows for ``model``."""
@@ -364,13 +375,17 @@ class ServingClient:
         neighbours=None,
         domain_id: int = 0,
         return_meta: bool = False,
+        trace: bool = False,
     ):
         """Predict one explicit ``[obs_len, 2]`` window (world coordinates).
 
         Returns the sampled futures as a ``[K, pred_len, 2]`` array, or
         ``(samples, meta)`` when ``return_meta`` is set — ``meta`` carries
         the server-side ``batch_id`` / ``row`` / ``batch_size`` this request
-        was coalesced into (the replay hook of the equivalence gate).
+        was coalesced into (the replay hook of the equivalence gate).  With
+        ``trace=True`` (implies ``return_meta``) the server additionally
+        returns per-stage timings in ``meta["trace"]`` — queue wait,
+        coalesce, route, inference — for this one request.
         """
         obs = np.asarray(obs, dtype=np.float64)
         fields: dict = {"model": model, "obs": obs if self.binary else obs.tolist()}
@@ -379,17 +394,31 @@ class ServingClient:
             fields["neighbours"] = neighbours if self.binary else neighbours.tolist()
         if domain_id:
             fields["domain_id"] = int(domain_id)
+        if trace:
+            fields["trace"] = True
         result = self.call("predict", **fields)
         samples = np.asarray(result["samples"], dtype=np.float64)
-        return (samples, result["meta"]) if return_meta else samples
+        return (samples, result["meta"]) if (return_meta or trace) else samples
 
-    def predict_frame(self, model: str, frame: int, return_meta: bool = False) -> dict:
+    def predict_frame(
+        self,
+        model: str,
+        frame: int,
+        return_meta: bool = False,
+        trace: bool = False,
+    ) -> dict:
         """Predict every agent whose observed window is ready at ``frame``.
 
         Returns ``{agent_id: samples}`` (ids are strings on the wire), or
-        ``{agent_id: (samples, meta)}`` with ``return_meta``.
+        ``{agent_id: (samples, meta)}`` with ``return_meta`` (which
+        ``trace=True`` implies — the per-agent ``meta["trace"]`` carries the
+        stage timings).
         """
-        result = self.call("predict", model=model, frame=int(frame))
+        fields: dict = {"model": model, "frame": int(frame)}
+        if trace:
+            fields["trace"] = True
+            return_meta = True
+        result = self.call("predict", **fields)
         agents = {}
         for agent_id, payload in result["agents"].items():
             samples = np.asarray(payload["samples"], dtype=np.float64)

@@ -104,6 +104,33 @@ class ServingEngine:
         return {h.request.request_id[0]: h.result() for h in handles}
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """In-process serving counters, mirroring the server's ``stats`` op.
+
+        One flat snapshot of the batcher's coalescing counters plus the
+        predictor's compiled-fast-path cache state (``None`` for predictors
+        without a plan cache), so an embedded engine is observable the same
+        way a network server is.
+        """
+        batcher = self.batcher
+        return {
+            "agents": self.windows.num_agents,
+            "pending": batcher.pending_count,
+            "total_requests": batcher.total_requests,
+            "total_batches": batcher.total_batches,
+            "total_completed": batcher.total_completed,
+            "total_failed": batcher.total_failed,
+            "mean_batch_size": round(batcher.mean_batch_size, 3),
+            "max_batch_size": batcher.max_batch_size,
+            "num_samples": batcher.num_samples,
+            "compile": self.predictor.compile_stats()
+            if hasattr(self.predictor, "compile_stats")
+            else None,
+        }
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property

@@ -88,6 +88,7 @@ class Predictor:
         self._plan_hits = 0
         self._plan_misses = 0
         self._fallbacks = 0
+        self._profile = False
 
     # ------------------------------------------------------------------
     @property
@@ -106,15 +107,40 @@ class Predictor:
         """Toggle the compiled fast path (cached plans are kept)."""
         self._compile = bool(enabled)
 
+    def set_profile(self, enabled: bool) -> None:
+        """Toggle per-kernel wall-time profiling on every cached plan.
+
+        Applies to plans built later too.  Profiling adds two clock reads
+        per kernel call, so leave it off on the hot path and enable it for
+        diagnosis sessions; :meth:`compile_stats` surfaces the aggregates.
+        """
+        self._profile = bool(enabled)
+        with self._plan_lock:
+            for plan in self._plans.values():
+                plan.set_profile(enabled)
+
     def compile_stats(self) -> dict:
-        """Observability snapshot of the compiled fast path."""
+        """Observability snapshot of the compiled fast path.
+
+        ``plans_detail`` maps each shape-bucket key to that plan's
+        :meth:`~repro.nn.compile.Plan.stats` — schedule size, arena bytes,
+        run count, and (when :meth:`set_profile` is on) per-kernel wall
+        time.
+        """
+        with self._plan_lock:
+            plans = dict(self._plans)
         return {
             "enabled": self._compile,
             "broken": self._compile_broken,
-            "plans": len(self._plans),
+            "plans": len(plans),
             "hits": self._plan_hits,
             "misses": self._plan_misses,
             "fallbacks": self._fallbacks,
+            "profile": self._profile,
+            "plans_detail": {
+                f"samples={key[0]},obs={key[1]},neighbours={key[2]}": plan.stats()
+                for key, plan in sorted(plans.items(), key=lambda item: repr(item[0]))
+            },
         }
 
     def describe(self) -> str:
@@ -209,6 +235,8 @@ class Predictor:
             except CompileError as exc:
                 self._compile_broken = str(exc)
                 return None
+            if self._profile:
+                plan.set_profile(True)
             self._plans[key] = plan
             self._plan_misses += 1
             return plan

@@ -50,8 +50,8 @@ Responses echo the id and report success or a typed error::
     {"v": 2, "id": 7, "ok": false, "error": {"code": "overloaded", "message": "..."}}
 
 The full schema of every operation (``observe`` / ``predict`` / ``flush`` /
-``stats`` / ``health``), the error-code table, and the backpressure
-semantics are specified in ``docs/serving.md``; this module is the single
+``stats`` / ``health`` / ``metrics``), the error-code table, and the
+backpressure semantics are specified in ``docs/serving.md``; this module is the single
 point of truth for the byte-level encoding both
 :class:`~repro.serve.server.AsyncServingServer` and
 :class:`~repro.serve.client.ServingClient` use.
@@ -110,8 +110,10 @@ SUPPORTED_VERSIONS = (1, 2)
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 #: Operations the protocol defines (the server may still not accept all of
-#: them for a given model — see docs/serving.md).
-OPERATIONS = ("observe", "predict", "flush", "stats", "health")
+#: them for a given model — see docs/serving.md).  ``metrics`` returns the
+#: server's instrument-registry snapshot (an additive operation: adding it
+#: did not bump the protocol version, older clients simply never send it).
+OPERATIONS = ("observe", "predict", "flush", "stats", "health", "metrics")
 
 #: Kind byte opening a binary (envelope + tensor tail) payload.  JSON
 #: payloads are recognized by their opening ``{`` (0x7B); 0x02 can never

@@ -5,8 +5,15 @@ network service.  One asyncio event loop owns all connection and scheduling
 state; model forwards never run on it:
 
 * **Framing/schema** — length-prefixed JSON (:mod:`repro.serve.protocol`)
-  with ``observe`` / ``predict`` / ``flush`` / ``stats`` / ``health``
-  operations.
+  with ``observe`` / ``predict`` / ``flush`` / ``stats`` / ``health`` /
+  ``metrics`` operations.
+* **Observability** — latency and per-stage histograms (admission → queue
+  wait → coalesce → route → inference → encode) recorded into a
+  :class:`~repro.obs.metrics.MetricsRegistry` (the ``metrics`` op returns
+  its snapshot), structured JSON logs at lifecycle/overload/flush-error
+  sites, and a per-request ``trace: true`` flag that returns stage timings
+  in response ``meta`` — all additive; wire images and the replay
+  invariant are untouched.  See ``docs/observability.md``.
 * **Batching** — each model gets a :class:`~repro.serve.batcher.MicroBatcher`
   in externally-driven mode: requests from all connections coalesce in one
   queue, a background flush loop (plus a drain after every submit) pops due
@@ -54,6 +61,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import STAGE_METRIC, record_stages
 from repro.serve import protocol
 from repro.serve.batcher import (
     FlushChunk,
@@ -85,7 +95,16 @@ class _Replica:
     on the worker pool.
     """
 
-    __slots__ = ("index", "predictor", "weight", "lock", "active", "chunks", "completed")
+    __slots__ = (
+        "index",
+        "predictor",
+        "weight",
+        "lock",
+        "active",
+        "chunks",
+        "completed",
+        "errors",
+    )
 
     def __init__(self, index: int, predictor: Predictor, weight: float) -> None:
         self.index = index
@@ -95,6 +114,7 @@ class _Replica:
         self.active = 0
         self.chunks = 0
         self.completed = 0
+        self.errors = 0
 
 
 class Router:
@@ -219,11 +239,13 @@ class _ModelWorker:
             # replica (and pops a convoy of partial singles).
             replica = self.router.pick()
             replica.active += 1
+            chunk.scheduled_at = self.batcher.clock()
             self.server._track_task(
                 self.server._loop.create_task(self._run_chunk(chunk, replica))
             )
 
     async def _run_chunk(self, chunk: FlushChunk, replica: _Replica) -> None:
+        error: BaseException | None = None
         try:
             async with replica.lock:
                 try:
@@ -233,12 +255,33 @@ class _ModelWorker:
                         chunk,
                         replica.predictor,
                     )
-                    replica.completed += chunk.size
-                except Exception:
-                    pass  # terminal errors already set on the handles
+                except Exception as exc:
+                    # Terminal errors are already set on the handles; keep the
+                    # exception for accounting, never let it kill the task.
+                    error = exc
         finally:
             replica.active -= 1
             replica.chunks += 1
+            # Credit only handles that actually resolved with samples — a
+            # failed flush (or a shutdown race) leaves terminal errors on
+            # some or all of them.
+            replica.completed += sum(
+                1 for handle in chunk.handles if handle.error is None
+            )
+            if error is not None:
+                replica.errors += 1
+                self.server._log.error(
+                    "flush_error",
+                    model=self.name,
+                    replica=replica.index,
+                    batch_id=chunk.batch_id,
+                    batch_size=chunk.size,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                if self.server.instrument:
+                    self.server.metrics.counter(
+                        "serve_flush_errors", model=self.name
+                    ).inc()
             for handle in chunk.handles:
                 self._resolve(handle)
             # A flush just finished: anything that queued behind it may now
@@ -258,6 +301,12 @@ class _ModelWorker:
             self.completed += 1
             self.latency_sum += latency
             self.latency_max = max(self.latency_max, latency)
+            if self.server.instrument:
+                self.server.metrics.histogram(
+                    "serve_latency_seconds", model=self.name
+                ).record(latency)
+                if handle.stage_s:
+                    record_stages(self.server.metrics, self.name, handle.stage_s)
 
     def resolve_terminal(self) -> None:
         """Resolve every waiter whose handle already carries a terminal state.
@@ -273,6 +322,20 @@ class _ModelWorker:
 
     def stats(self) -> dict:
         batcher = self.batcher
+        latency = {
+            "count": self.completed,
+            "mean_s": round(self.latency_sum / self.completed, 6)
+            if self.completed
+            else 0.0,
+            "max_s": round(self.latency_max, 6),
+        }
+        if self.server.instrument:
+            hist = self.server.metrics.histogram(
+                "serve_latency_seconds", model=self.name
+            )
+            latency["p50_s"] = round(hist.quantile(0.50), 6)
+            latency["p95_s"] = round(hist.quantile(0.95), 6)
+            latency["p99_s"] = round(hist.quantile(0.99), 6)
         return {
             "replicas": [
                 {
@@ -280,6 +343,12 @@ class _ModelWorker:
                     "active": replica.active,
                     "chunks": replica.chunks,
                     "completed": replica.completed,
+                    "errors": replica.errors,
+                    # Compiled-fast-path observability; None for predictors
+                    # without a plan cache (e.g. test stubs).
+                    "compile": replica.predictor.compile_stats()
+                    if hasattr(replica.predictor, "compile_stats")
+                    else None,
                 }
                 for replica in self.replicas
             ],
@@ -291,13 +360,7 @@ class _ModelWorker:
             "mean_batch_size": round(batcher.mean_batch_size, 3),
             "max_batch_size": batcher.max_batch_size,
             "num_samples": batcher.num_samples,
-            "latency": {
-                "count": self.completed,
-                "mean_s": round(self.latency_sum / self.completed, 6)
-                if self.completed
-                else 0.0,
-                "max_s": round(self.latency_max, 6),
-            },
+            "latency": latency,
         }
 
 
@@ -312,15 +375,25 @@ class _Connection:
     tasks: set = field(default_factory=set)
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
 
-    async def send(self, message: dict) -> None:
+    async def send(self, message: dict) -> float:
+        """Encode + write one frame; returns the encode wall seconds.
+
+        The return value feeds the ``encode`` stage histogram — measured
+        here, at the only site that serializes responses, so a response
+        never has to carry the cost of its own serialization.
+        """
         # Messages still holding ndarrays go out as binary (v2) frames;
         # handlers only leave arrays in when the request asked for binary.
         async with self.write_lock:
+            encode_started = time.monotonic()
+            data = protocol.encode_frame_auto(message)  # ProtocolError propagates
+            encode_s = time.monotonic() - encode_started
             try:
-                self.writer.write(protocol.encode_frame_auto(message))
+                self.writer.write(data)
                 await self.writer.drain()
             except (ConnectionError, RuntimeError):
                 pass  # client went away; its in-flight work still resolves
+            return encode_s
 
 
 class AsyncServingServer:
@@ -342,6 +415,13 @@ class AsyncServingServer:
         lives here, not with the caller).
     seed : base seed for per-flush RNG derivation (see
         ``MicroBatcher.seed_per_flush``).
+    instrument : record latency/stage histograms and serving counters into
+        ``self.metrics`` (the ``metrics`` operation's payload).  On by
+        default; ``benchmarks/bench_server.py`` gates the overhead of
+        leaving it on at ≤ 5% of the uninstrumented predict path.  Stage
+        *capture* (a few clock reads per flush chunk) and per-request
+        ``trace: true`` replies work regardless — this flag only controls
+        histogram recording.
     """
 
     def __init__(
@@ -353,6 +433,7 @@ class AsyncServingServer:
         workers: int = 2,
         flush_interval: float = 0.001,
         seed: int = 0,
+        instrument: bool = True,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
@@ -364,6 +445,10 @@ class AsyncServingServer:
         self.num_workers = workers
         self.flush_interval = flush_interval
         self.seed = seed
+        self.instrument = bool(instrument)
+        #: Server-wide instrument registry (the ``metrics`` op's payload).
+        self.metrics = MetricsRegistry()
+        self._log = get_logger("repro.serve")
         #: Streaming windows idle for this many observation-window lengths
         #: are evicted on the next ``observe`` (bounds per-connection state).
         self.stale_after = 4
@@ -473,7 +558,17 @@ class AsyncServingServer:
         )
         self._started_at = time.monotonic()
         self._flush_task = self._loop.create_task(self._flush_loop())
-        return self.address
+        host, port = self.address
+        self._log.info(
+            "server_started",
+            host=host,
+            port=port,
+            models=sorted(self._models),
+            workers=self.num_workers,
+            max_in_flight=self.max_in_flight,
+            instrument=self.instrument,
+        )
+        return host, port
 
     async def serve_forever(self) -> None:
         """Run until cancelled (after :meth:`start`)."""
@@ -522,6 +617,13 @@ class AsyncServingServer:
             await self._server.wait_closed()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        self._log.info(
+            "server_stopped",
+            uptime_s=round(time.monotonic() - self._started_at, 3),
+            accepted=self.accepted,
+            rejected_overload=self.rejected_overload,
+            internal_errors=self.internal_errors,
+        )
 
     async def _flush_loop(self) -> None:
         """Background max-wait timer: the caller never has to poll."""
@@ -581,14 +683,16 @@ class AsyncServingServer:
 
         async def reply(response: dict) -> None:
             response["v"] = reply_v
-            await conn.send(response)
+            encode_s = await conn.send(response)
+            if self.instrument:
+                self.metrics.histogram("serve_encode_seconds").record(encode_s)
 
         try:
             op, req_id = protocol.validate_request(message)
             # Read-only probes keep working while draining (a shedding
             # server must not blind the operator); only work-creating
             # operations are refused.
-            if self._closing and op not in ("health", "stats"):
+            if self._closing and op not in ("health", "stats", "metrics"):
                 raise ServingClosedError("server is shutting down")
             handler = getattr(self, f"_op_{op}")
             result = await handler(conn, message)
@@ -596,6 +700,13 @@ class AsyncServingServer:
             await reply(protocol.error_response(req_id, error.code, str(error)))
         except OverloadedError as error:
             self.rejected_overload += 1
+            self._log.warning(
+                "overloaded",
+                in_flight=self.in_flight,
+                max_in_flight=self.max_in_flight,
+            )
+            if self.instrument:
+                self.metrics.counter("serve_rejected_overload").inc()
             await reply(
                 protocol.error_response(req_id, protocol.E_OVERLOADED, str(error))
             )
@@ -688,6 +799,30 @@ class AsyncServingServer:
             },
         }
 
+    def _trace_meta(
+        self, handle: PendingPrediction, admission_s: float, started_at: float
+    ) -> dict:
+        """The ``meta.trace`` object for a traced request.
+
+        Stage durations come from the batcher's per-handle capture plus the
+        handler-side admission measurement; ``encode`` is absent by
+        construction (see :meth:`_Connection.send`).  Purely additive: the
+        ``samples`` wire image and the replay meta fields are untouched.
+        """
+        stages = {"admission": admission_s}
+        if handle.stage_s:
+            stages.update(handle.stage_s)
+        return {
+            "stages": {name: round(secs, 6) for name, secs in stages.items()},
+            "total_s": round(self._loop.time() - started_at, 6),
+        }
+
+    def _record_admission(self, worker: _ModelWorker, admission_s: float) -> None:
+        if self.instrument:
+            self.metrics.histogram(
+                STAGE_METRIC, model=worker.name, stage="admission"
+            ).record(admission_s)
+
     async def _op_health(self, conn: _Connection, message: dict) -> dict:
         return {
             "status": "shutting_down" if self._closing else "ok",
@@ -756,6 +891,8 @@ class AsyncServingServer:
     async def _predict_explicit(
         self, conn: _Connection, worker: _ModelWorker, message: dict
     ) -> dict:
+        handler_started = self._loop.time()
+        trace = bool(message.get("trace"))
         wire_dtype = self._wire_dtype(message)
         obs = _parse_array(message["obs"], "[obs_len, 2]", 2)
         # NB: an explicit `is None`/size check — binary requests deliver
@@ -789,12 +926,21 @@ class AsyncServingServer:
         except BaseException:  # never queued (e.g. racing shutdown)
             self.accepted -= 1
             raise
+        admission_s = self._loop.time() - handler_started
+        self._record_admission(worker, admission_s)
         handle = await future
-        return self._handle_payload(handle, wire_dtype)
+        payload = self._handle_payload(handle, wire_dtype)
+        if trace:
+            payload["meta"]["trace"] = self._trace_meta(
+                handle, admission_s, handler_started
+            )
+        return payload
 
     async def _predict_frame(
         self, conn: _Connection, worker: _ModelWorker, message: dict
     ) -> dict:
+        handler_started = self._loop.time()
+        trace = bool(message.get("trace"))
         wire_dtype = self._wire_dtype(message)
         frame = int(_require(message, "frame", (int,), "an integer frame number"))
         windows = self._conn_windows(conn, worker)
@@ -811,17 +957,31 @@ class AsyncServingServer:
             # shutdown); already-submitted handles resolve on their own.
             self.accepted -= len(requests) - len(futures)
             raise
+        # One admission measurement covers the whole frame's submits.
+        admission_s = self._loop.time() - handler_started
+        self._record_admission(worker, admission_s)
         handles = await asyncio.gather(*futures)
-        return {
-            "agents": {
-                str(request.request_id[0]): self._handle_payload(handle, wire_dtype)
-                for request, handle in zip(requests, handles)
-            }
-        }
+        agents = {}
+        for request, handle in zip(requests, handles):
+            payload = self._handle_payload(handle, wire_dtype)
+            if trace:
+                payload["meta"]["trace"] = self._trace_meta(
+                    handle, admission_s, handler_started
+                )
+            agents[str(request.request_id[0])] = payload
+        return {"agents": agents}
 
     async def _op_flush(self, conn: _Connection, message: dict) -> dict:
         worker = self._worker(message)
         return {"flushed": worker.flush_now()}
+
+    async def _op_metrics(self, conn: _Connection, message: dict) -> dict:
+        """Full registry snapshot — histograms, counters, gauges, quantiles."""
+        return {
+            "instrument": self.instrument,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "metrics": self.metrics.snapshot(),
+        }
 
 
 class ServerThread:

@@ -209,3 +209,63 @@ class TestPlanIntrospection:
         assert isinstance(plan, Plan)
         assert plan.num_steps > 0
         assert plan.output_shape == (5, 3)
+
+
+class TestPlanProfiling:
+    @staticmethod
+    def make_plan():
+        mlp = MLP([4, 8, 3], rng=0)
+        x = np.random.default_rng(1).standard_normal((5, 4))
+        plan = capture(
+            lambda rng: mlp(Tensor(x)).data,
+            inputs={"x": x},
+            rng=np.random.default_rng(0),
+        )
+        return plan, x
+
+    def test_stats_without_profiling(self):
+        plan, x = self.make_plan()
+        plan.run({"x": x}, np.random.default_rng(0))
+        stats = plan.stats()
+        assert stats["num_steps"] == plan.num_steps
+        assert stats["output_shape"] == [5, 3]
+        assert stats["runs"] == 1
+        assert stats["arena"]["buffers"] > 0
+        assert stats["arena"]["bytes"] > 0
+        assert stats["profile_enabled"] is False
+        assert stats["kernels"] == {}  # no per-kernel timing when off
+
+    def test_profile_counts_kernel_calls(self):
+        plan, x = self.make_plan()
+        plan.set_profile(True)
+        for _ in range(3):
+            plan.run({"x": x}, np.random.default_rng(0))
+        stats = plan.stats()
+        assert stats["runs"] == 3
+        assert stats["profile_enabled"] is True
+        kernels = stats["kernels"]
+        assert kernels, "profiling on + runs executed -> kernel entries"
+        # Every executed step is attributed; counts are multiples of runs.
+        assert sum(k["calls"] for k in kernels.values()) == 3 * plan.num_steps
+        assert all(k["total_s"] >= 0.0 for k in kernels.values())
+        import json
+
+        json.dumps(stats)  # surfaced through the server stats op verbatim
+
+    def test_profile_does_not_change_results(self):
+        plan, x = self.make_plan()
+        baseline = plan.run({"x": x}, np.random.default_rng(0))
+        plan.set_profile(True)
+        profiled = plan.run({"x": x}, np.random.default_rng(0))
+        assert np.array_equal(baseline, profiled)
+        plan.set_profile(False)
+        assert plan.stats()["profile_enabled"] is False
+        unprofiled = plan.run({"x": x}, np.random.default_rng(0))
+        assert np.array_equal(baseline, unprofiled)
+
+    def test_set_profile_resets_accumulators(self):
+        plan, x = self.make_plan()
+        plan.set_profile(True)
+        plan.run({"x": x}, np.random.default_rng(0))
+        plan.set_profile(True)  # re-enable -> fresh accumulators
+        assert plan.stats()["kernels"] == {}

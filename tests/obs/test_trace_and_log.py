@@ -1,0 +1,146 @@
+"""Tests for request-lifecycle tracing spans and the JSON-line logger."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import STAGE_METRIC, STAGES, RequestTrace, Span, record_stages
+from repro.obs.log import JsonLogger, get_logger
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic span timing."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Span / RequestTrace
+# ----------------------------------------------------------------------
+def test_span_measures_elapsed_time():
+    clock = FakeClock()
+    span = Span("inference", clock=clock)
+    with span:
+        clock.advance(0.25)
+    assert span.duration_s == pytest.approx(0.25)
+    assert span.name == "inference"
+
+
+def test_span_on_close_fires_even_on_exception():
+    clock = FakeClock()
+    seen = []
+    with pytest.raises(RuntimeError):
+        with Span("route", clock=clock, on_close=lambda n, s: seen.append((n, s))):
+            clock.advance(0.1)
+            raise RuntimeError("boom")
+    assert seen == [("route", pytest.approx(0.1))]
+
+
+def test_request_trace_accumulates_and_renders_meta():
+    clock = FakeClock()
+    trace = RequestTrace(clock=clock)
+    with trace.span("queue_wait"):
+        clock.advance(0.002)
+    trace.record("inference", 0.010)
+    trace.record("inference", 0.005)  # retried stage accumulates
+    trace.update({"coalesce": 0.001})
+    clock.advance(0.001)
+
+    meta = trace.as_meta()
+    assert meta["stages"]["queue_wait"] == pytest.approx(0.002)
+    assert meta["stages"]["inference"] == pytest.approx(0.015)
+    assert meta["stages"]["coalesce"] == pytest.approx(0.001)
+    assert meta["total_s"] == pytest.approx(0.003)  # only span/advance move the clock
+    json.dumps(meta)  # wire-visible object must be JSON-native
+
+
+def test_request_trace_meta_rounds_to_microseconds():
+    trace = RequestTrace(clock=FakeClock())
+    trace.record("admission", 0.123456789)
+    assert trace.as_meta()["stages"]["admission"] == 0.123457
+
+
+def test_canonical_stage_names():
+    assert STAGES == (
+        "admission",
+        "queue_wait",
+        "coalesce",
+        "route",
+        "inference",
+        "encode",
+    )
+
+
+def test_record_stages_feeds_per_model_histograms():
+    registry = MetricsRegistry()
+    record_stages(registry, "pecnet", {"queue_wait": 0.002, "inference": 0.01})
+    record_stages(registry, "pecnet", {"inference": 0.02})
+    snap = registry.snapshot()["histograms"]
+    inference = snap[f"{STAGE_METRIC}{{model=pecnet,stage=inference}}"]
+    assert inference["count"] == 2
+    assert inference["sum"] == pytest.approx(0.03)
+    assert snap[f"{STAGE_METRIC}{{model=pecnet,stage=queue_wait}}"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# JsonLogger
+# ----------------------------------------------------------------------
+def test_logger_emits_one_json_line_per_event():
+    stream = io.StringIO()
+    logger = JsonLogger("test", stream=stream)
+    logger.info("server_started", host="127.0.0.1", port=8707)
+    logger.warning("overloaded", in_flight=9)
+
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first["event"] == "server_started"
+    assert first["level"] == "info"
+    assert first["logger"] == "test"
+    assert first["host"] == "127.0.0.1" and first["port"] == 8707
+    assert "ts" in first and first["ts"].endswith("+00:00")
+    assert second["event"] == "overloaded" and second["level"] == "warning"
+
+
+def test_logger_returns_the_record():
+    logger = JsonLogger("test", stream=io.StringIO())
+    record = logger.error("flush_error", model="m", error="ValueError: bad")
+    assert record["level"] == "error"
+    assert record["error"] == "ValueError: bad"
+
+
+def test_logger_rejects_unknown_level():
+    logger = JsonLogger("test", stream=io.StringIO())
+    with pytest.raises(ValueError, match="unknown level"):
+        logger.log("event", level="critical")
+
+
+def test_logger_stringifies_non_json_fields():
+    stream = io.StringIO()
+    JsonLogger("test", stream=stream).info("odd", exc=ValueError("nope"))
+    assert json.loads(stream.getvalue())["exc"] == "nope"
+
+
+def test_logger_default_stream_follows_stderr_swaps(monkeypatch):
+    stream = io.StringIO()
+    monkeypatch.setattr("sys.stderr", stream)
+    JsonLogger("test").info("captured")
+    assert json.loads(stream.getvalue())["event"] == "captured"
+
+
+def test_get_logger_returns_one_instance_per_name():
+    a = get_logger("repro.tests.obs")
+    b = get_logger("repro.tests.obs")
+    assert a is b
+    assert get_logger("repro.tests.other") is not a
