@@ -33,6 +33,7 @@ Serving invariants (see ``docs/architecture.md`` and ``docs/serving.md``):
 """
 
 from repro.serve.batcher import (
+    DeadlineExceededError,
     FlushChunk,
     MicroBatcher,
     PendingPrediction,
@@ -42,19 +43,35 @@ from repro.serve.batcher import (
 )
 from repro.serve.client import RetryPolicy, ServingClient
 from repro.serve.engine import ServingEngine
+from repro.serve.faults import (
+    ChaosProxy,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    FaultyPredictor,
+)
 from repro.serve.predictor import Predictor
 from repro.serve.protocol import ProtocolError, RemoteServingError
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import (
     AsyncServingServer,
+    CircuitBreaker,
     OverloadedError,
     Router,
     ServerThread,
+    UnavailableError,
 )
 from repro.serve.streaming import StreamingWindows
 
 __all__ = [
     "AsyncServingServer",
+    "ChaosProxy",
+    "CircuitBreaker",
+    "DeadlineExceededError",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyPredictor",
     "FlushChunk",
     "MicroBatcher",
     "ModelRegistry",
@@ -71,5 +88,6 @@ __all__ = [
     "ServingClosedError",
     "ServingEngine",
     "StreamingWindows",
+    "UnavailableError",
     "collate_requests",
 ]

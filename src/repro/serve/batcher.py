@@ -41,6 +41,7 @@ from repro.serve.predictor import Predictor
 from repro.utils.seeding import new_rng
 
 __all__ = [
+    "DeadlineExceededError",
     "FlushChunk",
     "MicroBatcher",
     "PendingPrediction",
@@ -60,6 +61,19 @@ class ServingClosedError(RuntimeError):
     """
 
 
+class DeadlineExceededError(RuntimeError):
+    """Terminal error of a request whose deadline expired before inference.
+
+    A :class:`PredictRequest` may carry an absolute ``deadline`` (batcher
+    clock).  Expired requests are swept out *before* the model runs — at pop
+    time (:meth:`MicroBatcher.expire_pending`), and again at chunk execution
+    (:meth:`MicroBatcher.expire_chunk`, which also runs inside
+    :meth:`MicroBatcher.run_chunk` after the replica-lock/executor wait) — so
+    the server never computes answers nobody is waiting for.  On the wire
+    this maps to the typed ``deadline_exceeded`` response.
+    """
+
+
 @dataclass
 class PredictRequest:
     """One agent's ready-to-predict observation window (world coordinates).
@@ -71,12 +85,19 @@ class PredictRequest:
     neighbours : ``[N, obs_len, 2]`` neighbours' windows (N >= 0).
     domain_id : source-domain hint; serving an unseen domain uses 0 (the
         AdapTraj aggregator path ignores it).
+    deadline : absolute expiry time on the batcher's clock, or None (no
+        deadline).  A request past its deadline is answered with a terminal
+        :class:`DeadlineExceededError` instead of being coalesced into a
+        flush — expiry never changes the results of the requests that do run
+        (the batch simply collates without the expired rows, and the replay
+        meta describes the batch actually executed).
     """
 
     request_id: object
     obs: np.ndarray
     neighbours: np.ndarray | None = None
     domain_id: int = 0
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         self.obs = np.asarray(self.obs, dtype=np.float64)
@@ -297,12 +318,18 @@ class MicroBatcher:
         self.total_batches = 0
         self.total_completed = 0
         self.total_failed = 0
+        self.total_expired = 0
 
     # ------------------------------------------------------------------
     @property
     def pending_count(self) -> int:
         """Requests queued and not yet popped into a flush (queue depth)."""
         return len(self._pending)
+
+    @property
+    def next_batch_id(self) -> int:
+        """The id the next popped flush will get (the swap cutover marker)."""
+        return self._next_batch_id
 
     @property
     def closed(self) -> bool:
@@ -342,6 +369,7 @@ class MicroBatcher:
 
     def poll(self, now: float | None = None) -> list[PendingPrediction]:
         """Flush partial batches whose oldest request exceeded ``max_wait``."""
+        self.expire_pending(now)
         with self._lock:
             if not self._pending:
                 return []
@@ -389,6 +417,110 @@ class MicroBatcher:
                     chunks.append(self._pop_chunk_locked(len(self._pending)))
             return chunks
 
+    # ------------------------------------------------------------------
+    # Deadlines and fault handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _expired_error(handle: PendingPrediction, now: float) -> DeadlineExceededError:
+        overdue = now - handle.request.deadline
+        return DeadlineExceededError(
+            f"request {handle.request.request_id!r} missed its deadline by "
+            f"{overdue * 1e3:.1f}ms before inference ran"
+        )
+
+    def expire_pending(self, now: float | None = None) -> list[PendingPrediction]:
+        """Sweep queued requests whose deadline passed; returns the expired.
+
+        Each expired handle gets a terminal :class:`DeadlineExceededError`
+        *before* it could be coalesced — the answer the caller is still
+        around to see.  The async server calls this on every drain (so a
+        request queued behind busy replicas is answered within one flush
+        interval of its deadline); :meth:`poll` calls it for the in-process
+        mode.
+        """
+        with self._lock:
+            if not self._pending:
+                return []
+            now = self.clock() if now is None else now
+            live = [
+                h
+                for h in self._pending
+                if h.request.deadline is None or now < h.request.deadline
+            ]
+            if len(live) == len(self._pending):
+                return []
+            expired = [
+                h
+                for h in self._pending
+                if h.request.deadline is not None and now >= h.request.deadline
+            ]
+            self._pending = live
+            self.total_expired += len(expired)
+            self.total_failed += len(expired)
+        for handle in expired:
+            handle._set_error(self._expired_error(handle, now))
+        return expired
+
+    def expire_chunk(
+        self, chunk: FlushChunk, now: float | None = None
+    ) -> list[PendingPrediction]:
+        """Drop expired handles out of a popped chunk; returns the expired.
+
+        Safe to call repeatedly (the async server sweeps once on the event
+        loop for a fast typed answer; :meth:`run_chunk` sweeps again after
+        the replica-lock/executor wait, so a stalled replica can never smuggle
+        an expired request into inference).  The chunk's remaining handles
+        collate as the batch actually executed.
+        """
+        now = self.clock() if now is None else now
+        expired = [
+            h
+            for h in chunk.handles
+            if h.request.deadline is not None and now >= h.request.deadline
+        ]
+        if not expired:
+            return []
+        chunk.handles = [h for h in chunk.handles if h not in expired]
+        for handle in expired:
+            handle._set_error(self._expired_error(handle, now))
+        with self._lock:
+            self.total_expired += len(expired)
+            self.total_failed += len(expired)
+        return expired
+
+    def requeue(self, chunk: FlushChunk) -> None:
+        """Put a popped-but-unrunnable chunk back at the head of the queue.
+
+        Used by the async server when every routable replica is a half-open
+        breaker already running its probe: the work waits for the probe's
+        verdict instead of failing or convoying onto a broken replica.  The
+        popped ``batch_id`` is consumed either way — per-flush RNG derivation
+        never reuses a stream.  On a closed batcher the handles get the
+        terminal :class:`ServingClosedError` instead of re-entering a queue
+        nobody will ever drain.
+        """
+        with self._lock:
+            if not self._closed:
+                self._pending[:0] = chunk.handles
+                return
+        error = ServingClosedError("batcher shut down while requeueing")
+        for handle in chunk.handles:
+            handle._set_error(error)
+        with self._lock:
+            self.total_failed += len(chunk.handles)
+
+    def fail_chunk(self, chunk: FlushChunk, error: BaseException) -> None:
+        """Terminally fail every handle of a chunk with ``error``.
+
+        The typed fast-fail path: when no replica can take the chunk (all
+        circuit breakers open), the scheduler answers with ``unavailable``
+        instead of queueing into a dead pool.
+        """
+        for handle in chunk.handles:
+            handle._set_error(error)
+        with self._lock:
+            self.total_failed += len(chunk.handles)
+
     def run_chunk(
         self, chunk: FlushChunk, predictor: Predictor | None = None
     ) -> list[PendingPrediction]:
@@ -406,6 +538,10 @@ class MicroBatcher:
         retry forever — and the exception propagates so the scheduler can
         log it.
         """
+        # Last-chance deadline sweep: time spent waiting for the replica
+        # lock / executor slot counts against the request's budget, and an
+        # expired row must never reach inference.
+        self.expire_chunk(chunk)
         if not chunk.handles:
             return []
         stage: dict[str, float] = {}
@@ -511,6 +647,22 @@ class MicroBatcher:
         if not self._pending:
             return []
         chunk = self._pop_chunk_locked(limit)
+        # Inline deadline sweep (the lock is held — expire_chunk would
+        # deadlock): expired rows leave the chunk before collation.
+        now = self.clock()
+        expired = [
+            h
+            for h in chunk.handles
+            if h.request.deadline is not None and now >= h.request.deadline
+        ]
+        if expired:
+            chunk.handles = [h for h in chunk.handles if h not in expired]
+            for handle in expired:
+                handle._set_error(self._expired_error(handle, now))
+            self.total_expired += len(expired)
+            self.total_failed += len(expired)
+            if not chunk.handles:
+                return expired
         stage: dict[str, float] = {}
         try:
             samples = self._predict(
@@ -531,4 +683,6 @@ class MicroBatcher:
             handle._set_result(samples[:, row])
         self.total_batches += 1
         self.total_completed += len(chunk.handles)
-        return chunk.handles
+        # Expired handles are done too (terminal error): report everything
+        # this flush resolved, so pollers see every handle leave the queue.
+        return expired + chunk.handles

@@ -56,6 +56,9 @@ class RetryPolicy:
 
     * ``overloaded`` responses — admission control shed the request; back
       off and resubmit on the same connection;
+    * ``unavailable`` responses — every replica's circuit breaker is open;
+      the cooldown-then-probe cycle means a later attempt may find a closed
+      breaker;
     * transport failures (timeout, dropped/poisoned connection, framing
       error) — reconnect first, then resubmit (``reconnect=True``) — but
       only for **stateless** operations.  ``observe`` and frame-mode
@@ -79,6 +82,14 @@ class RetryPolicy:
     seed : seed of the jitter RNG.
     reconnect : also retry transport failures by reconnecting; requires the
         client to know its address (it does when built via :meth:`connect`).
+    max_elapsed : total backoff budget for one logical call, seconds: a
+        retry whose sleep would push the call's *cumulative backoff* past
+        the budget is not taken (the last error raises instead).  ``None``
+        derives the budget from the client's socket ``timeout`` — each
+        attempt is already individually bounded by that timeout, but
+        without a budget the sleeps between attempts can stack far past
+        the deadline the caller thought they set.  ``float("inf")``
+        disables the budget.
     """
 
     retries: int = 4
@@ -88,6 +99,7 @@ class RetryPolicy:
     jitter: float = 0.5
     seed: int = 0
     reconnect: bool = True
+    max_elapsed: float | None = None
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -98,6 +110,8 @@ class RetryPolicy:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.max_elapsed is not None and not self.max_elapsed > 0:
+            raise ValueError(f"max_elapsed must be > 0, got {self.max_elapsed}")
 
     def delay(self, attempt: int, rng: np.random.Generator) -> float:
         """Backoff before retry ``attempt`` (0-based), jittered via ``rng``."""
@@ -239,7 +253,9 @@ class ServingClient:
         # streaming windows, which do not survive a reconnect.
         stateful = op == "observe" or (op == "predict" and "frame" in fields)
         attempt = 0
+        slept = 0.0  # cumulative planned backoff (the max_elapsed meter)
         while True:
+            delay: float | None = None
             try:
                 if self._poisoned is not None:
                     if self.retry is not None and self.retry.reconnect:
@@ -253,8 +269,13 @@ class ServingClient:
                         )
                 return self._call_once(op, fields)
             except RemoteServingError as error:
-                transient = error.code == protocol.E_OVERLOADED
-                if not transient or not self._retry_left(attempt):
+                transient = error.code in (
+                    protocol.E_OVERLOADED,
+                    protocol.E_UNAVAILABLE,
+                )
+                if transient:
+                    delay = self._next_delay(attempt, slept)
+                if delay is None:
                     raise
             except (ProtocolError, OSError):
                 # Reconnect-and-resend is correct only when the connection
@@ -262,20 +283,39 @@ class ServingClient:
                 # raised *before* any byte went out (e.g. an oversized
                 # request frame refused by the encoder) leave the stream
                 # healthy and are deterministic — never retried.
-                if (
-                    not self.poisoned
-                    or stateful
-                    or self.retry is None
-                    or not self.retry.reconnect
-                    or self._address is None
-                    or not self._retry_left(attempt)
+                if not (
+                    self.poisoned
+                    and not stateful
+                    and self.retry is not None
+                    and self.retry.reconnect
+                    and self._address is not None
                 ):
                     raise
-            self._sleep(self.retry.delay(attempt, self._retry_rng))
+                delay = self._next_delay(attempt, slept)
+                if delay is None:
+                    raise
+            self._sleep(delay)
+            slept += delay
             attempt += 1
 
-    def _retry_left(self, attempt: int) -> bool:
-        return self.retry is not None and attempt < self.retry.retries
+    def _next_delay(self, attempt: int, slept: float) -> float | None:
+        """The backoff before retry ``attempt``, or None to stop retrying.
+
+        None means either the attempt count is exhausted or taking this
+        sleep would push the call's cumulative backoff past the policy's
+        ``max_elapsed`` budget (defaulting to the client's socket timeout).
+        Metering *planned* sleeps keeps the budget deterministic — the same
+        retry schedule under a fake sleep and a real one.
+        """
+        if self.retry is None or attempt >= self.retry.retries:
+            return None
+        delay = self.retry.delay(attempt, self._retry_rng)
+        budget = self.retry.max_elapsed
+        if budget is None:
+            budget = self._timeout
+        if budget is not None and slept + delay > budget:
+            return None
+        return delay
 
     def _call_once(self, op: str, fields: dict) -> dict:
         self._next_id += 1
@@ -368,6 +408,22 @@ class ServingClient:
             },
         )
 
+    def _wire_deadline(self, deadline_ms: float | None) -> float | None:
+        """Resolve a predict call's ``deadline_ms`` envelope value.
+
+        ``None`` (the default) maps the client's socket ``timeout`` onto the
+        wire — the server then stops spending inference on requests this
+        client has already timed out on.  Pass an explicit positive value to
+        override, or ``0`` to send no deadline at all.
+        """
+        if deadline_ms is None:
+            if self._timeout is None:
+                return None
+            return self._timeout * 1000.0
+        if not deadline_ms:
+            return None
+        return float(deadline_ms)
+
     def predict(
         self,
         model: str,
@@ -376,6 +432,7 @@ class ServingClient:
         domain_id: int = 0,
         return_meta: bool = False,
         trace: bool = False,
+        deadline_ms: float | None = None,
     ):
         """Predict one explicit ``[obs_len, 2]`` window (world coordinates).
 
@@ -385,7 +442,10 @@ class ServingClient:
         was coalesced into (the replay hook of the equivalence gate).  With
         ``trace=True`` (implies ``return_meta``) the server additionally
         returns per-stage timings in ``meta["trace"]`` — queue wait,
-        coalesce, route, inference — for this one request.
+        coalesce, route, inference — for this one request.  ``deadline_ms``
+        defaults to the client timeout (see :meth:`_wire_deadline`); an
+        expired request raises :class:`RemoteServingError` with code
+        ``deadline_exceeded``.
         """
         obs = np.asarray(obs, dtype=np.float64)
         fields: dict = {"model": model, "obs": obs if self.binary else obs.tolist()}
@@ -396,6 +456,9 @@ class ServingClient:
             fields["domain_id"] = int(domain_id)
         if trace:
             fields["trace"] = True
+        wire_deadline = self._wire_deadline(deadline_ms)
+        if wire_deadline is not None:
+            fields["deadline_ms"] = wire_deadline
         result = self.call("predict", **fields)
         samples = np.asarray(result["samples"], dtype=np.float64)
         return (samples, result["meta"]) if (return_meta or trace) else samples
@@ -406,18 +469,23 @@ class ServingClient:
         frame: int,
         return_meta: bool = False,
         trace: bool = False,
+        deadline_ms: float | None = None,
     ) -> dict:
         """Predict every agent whose observed window is ready at ``frame``.
 
         Returns ``{agent_id: samples}`` (ids are strings on the wire), or
         ``{agent_id: (samples, meta)}`` with ``return_meta`` (which
         ``trace=True`` implies — the per-agent ``meta["trace"]`` carries the
-        stage timings).
+        stage timings).  ``deadline_ms`` covers the whole frame's agents
+        (defaulting to the client timeout; ``0`` disables).
         """
         fields: dict = {"model": model, "frame": int(frame)}
         if trace:
             fields["trace"] = True
             return_meta = True
+        wire_deadline = self._wire_deadline(deadline_ms)
+        if wire_deadline is not None:
+            fields["deadline_ms"] = wire_deadline
         result = self.call("predict", **fields)
         agents = {}
         for agent_id, payload in result["agents"].items():

@@ -122,6 +122,7 @@ class ServingEngine:
             "total_batches": batcher.total_batches,
             "total_completed": batcher.total_completed,
             "total_failed": batcher.total_failed,
+            "total_expired": batcher.total_expired,
             "mean_batch_size": round(batcher.mean_batch_size, 3),
             "max_batch_size": batcher.max_batch_size,
             "num_samples": batcher.num_samples,

@@ -75,9 +75,11 @@ __all__ = [
     "SUPPORTED_VERSIONS",
     "TENSOR_DTYPES",
     "E_BAD_REQUEST",
+    "E_DEADLINE_EXCEEDED",
     "E_INTERNAL",
     "E_OVERLOADED",
     "E_SHUTTING_DOWN",
+    "E_UNAVAILABLE",
     "E_UNKNOWN_MODEL",
     "E_UNKNOWN_OP",
     "E_UNSUPPORTED_VERSION",
@@ -137,6 +139,15 @@ E_UNKNOWN_MODEL = "unknown_model"  #: ``model`` not registered on the server
 E_OVERLOADED = "overloaded"  #: admission control rejected the request
 E_SHUTTING_DOWN = "shutting_down"  #: server terminated the request mid-flight
 E_INTERNAL = "internal"  #: unexpected server-side failure
+#: The request's ``deadline_ms`` budget expired before inference ran (the
+#: server never computes answers nobody is waiting for).  Additive, like the
+#: ``metrics`` op: no version bump — older clients simply never send a
+#: deadline and never see this code.
+E_DEADLINE_EXCEEDED = "deadline_exceeded"
+#: Every replica of the requested model has an open circuit breaker; the
+#: request is fast-failed instead of queueing into a dead pool.  Transient:
+#: retry with backoff (a half-open probe closes the breaker on recovery).
+E_UNAVAILABLE = "unavailable"
 
 
 class ProtocolError(Exception):

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -66,6 +67,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import STAGE_METRIC, record_stages
 from repro.serve import protocol
 from repro.serve.batcher import (
+    DeadlineExceededError,
     FlushChunk,
     MicroBatcher,
     PendingPrediction,
@@ -76,11 +78,111 @@ from repro.serve.predictor import Predictor
 from repro.serve.protocol import ProtocolError
 from repro.serve.streaming import StreamingWindows
 
-__all__ = ["AsyncServingServer", "OverloadedError", "Router", "ServerThread"]
+__all__ = [
+    "AsyncServingServer",
+    "CircuitBreaker",
+    "OverloadedError",
+    "Router",
+    "ServerThread",
+    "UnavailableError",
+]
 
 
 class OverloadedError(RuntimeError):
     """Raised when admission control rejects work (answered as ``overloaded``)."""
+
+
+class UnavailableError(RuntimeError):
+    """Every replica of a model has an open circuit breaker.
+
+    Answered as the typed ``unavailable`` fast-fail: work is refused at
+    admission (and any chunk caught mid-pop is failed the same way) instead
+    of queueing into a pool that cannot serve it.  Transient by design — a
+    half-open probe closes a breaker the moment the replica recovers.
+    """
+
+
+class CircuitBreaker:
+    """Consecutive-error circuit breaker with half-open probes.
+
+    State machine (all transitions happen on the event loop — no locking):
+
+    * ``closed`` — healthy.  Every successful chunk resets the consecutive
+      error count; ``threshold`` consecutive failed chunks open the breaker.
+    * ``open`` — the replica is skipped by the router (its weight is
+      effectively renormalized away).  After ``cooldown`` seconds the next
+      availability check moves to half-open.
+    * ``half_open`` — exactly one probe chunk is admitted (the router
+      enforces the single-probe limit).  Success closes the breaker;
+      failure re-opens it and restarts the cooldown.
+
+    Failure here means the replica's *forward raised* — deadline expiry and
+    shutdown never count against a replica's health.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = self.CLOSED
+        self.consecutive_errors = 0
+        self.opened_at: float | None = None
+        #: Lifetime count of closed/half-open -> open transitions.
+        self.opens = 0
+
+    def record_success(self) -> None:
+        """A chunk ran cleanly: reset the error streak, close the breaker."""
+        self.consecutive_errors = 0
+        self.state = self.CLOSED
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        """A chunk's forward raised; open on threshold (or a failed probe)."""
+        self.consecutive_errors += 1
+        if self.state == self.HALF_OPEN or self.consecutive_errors >= self.threshold:
+            if self.state != self.OPEN:
+                self.opens += 1
+            self.state = self.OPEN
+            self.opened_at = self.clock()
+
+    def available(self, now: float | None = None) -> bool:
+        """Whether the replica may take work right now.
+
+        An open breaker whose cooldown elapsed transitions to half-open here
+        (availability checks are the only timer this class has); the caller
+        is then expected to admit at most one probe at a time.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            now = self.clock() if now is None else now
+            if now - self.opened_at < self.cooldown:
+                return False
+            self.state = self.HALF_OPEN
+        return True  # half-open: probe admission is the router's job
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for ``stats``."""
+        return {
+            "state": self.state,
+            "consecutive_errors": self.consecutive_errors,
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown,
+            "opens": self.opens,
+        }
 
 
 class _Replica:
@@ -104,9 +206,16 @@ class _Replica:
         "chunks",
         "completed",
         "errors",
+        "breaker",
     )
 
-    def __init__(self, index: int, predictor: Predictor, weight: float) -> None:
+    def __init__(
+        self,
+        index: int,
+        predictor: Predictor,
+        weight: float,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.index = index
         self.predictor = predictor
         self.weight = weight
@@ -115,6 +224,7 @@ class _Replica:
         self.chunks = 0
         self.completed = 0
         self.errors = 0
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
 
 
 class Router:
@@ -127,6 +237,12 @@ class Router:
     saturation.  Routing never affects results: replicas are numerically
     identical and every chunk's noise derives from ``(seed, batch_id)``
     alone, so the replay invariant holds regardless of placement.
+
+    Circuit breakers gate admission per replica: an open breaker removes
+    its replica from the candidate set (the surviving weights renormalize
+    implicitly — load just redistributes by the same ``active / weight``
+    rule), and a half-open breaker admits exactly one probe chunk at a
+    time.  When no replica is admittable, :meth:`pick` returns ``None``.
     """
 
     def __init__(self, replicas: list[_Replica]) -> None:
@@ -139,14 +255,41 @@ class Router:
                 )
         self.replicas = list(replicas)
 
-    def pick(self) -> _Replica:
-        """The replica the next chunk should run on."""
-        return min(self.replicas, key=lambda r: (r.active / r.weight, r.index))
+    def _admittable(self, replica: _Replica, now: float) -> bool:
+        if not replica.breaker.available(now):
+            return False
+        if replica.breaker.state == CircuitBreaker.HALF_OPEN:
+            # One probe at a time: the probe's verdict decides the breaker,
+            # so piling work onto a half-open replica defeats the point.
+            return replica.active == 0
+        return True
+
+    def pick(self) -> _Replica | None:
+        """The replica the next chunk should run on (None: all gated)."""
+        now = time.monotonic()
+        candidates = [r for r in self.replicas if self._admittable(r, now)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (r.active / r.weight, r.index))
+
+    def any_available(self, now: float | None = None) -> bool:
+        """True while at least one breaker would let work through eventually.
+
+        Half-open replicas count even while their probe is in flight — work
+        should *wait* for the probe's verdict, not fast-fail.  False only
+        when every breaker is open and cooling down.
+        """
+        now = time.monotonic() if now is None else now
+        return any(replica.breaker.available(now) for replica in self.replicas)
 
     @property
     def idle(self) -> bool:
-        """True while at least one replica has no chunk scheduled/running."""
-        return any(replica.active == 0 for replica in self.replicas)
+        """True while at least one admittable replica has no work in flight."""
+        now = time.monotonic()
+        return any(
+            replica.active == 0 and self._admittable(replica, now)
+            for replica in self.replicas
+        )
 
 
 def _require(message: dict, key: str, types: tuple[type, ...], what: str):
@@ -203,7 +346,17 @@ class _ModelWorker:
 
     # ------------------------------------------------------------------
     def submit(self, request: PredictRequest) -> asyncio.Future:
-        """Queue one request; returns a future resolving to its handle."""
+        """Queue one request; returns a future resolving to its handle.
+
+        When every replica's breaker is open (and still cooling down) the
+        request is refused outright with :class:`UnavailableError` — a
+        typed fast-fail beats queueing into a pool that cannot serve.
+        """
+        if not self.router.any_available():
+            raise UnavailableError(
+                f"model {self.name!r}: all {len(self.replicas)} replica "
+                "circuit breakers are open — retry after the cooldown"
+            )
         handle = self.batcher.submit(request)  # raises when closed/invalid
         future = self.server._loop.create_future()
         self._waiters[handle] = (future, self.server._loop.time())
@@ -217,10 +370,14 @@ class _ModelWorker:
         Full batches always pop.  Partial batches pop only while some
         replica is idle — under load the backlog accumulates behind the busy
         replicas and pops as one coalesced batch the moment one frees up
-        (adaptive batching).
+        (adaptive batching).  Requests whose deadline expired while queued
+        are swept out *first* and answered ``deadline_exceeded`` without
+        ever reaching a replica.
         """
         if self.batcher.closed:
             return
+        for handle in self.batcher.expire_pending():
+            self._resolve(handle)
         self._schedule(self.batcher.take_ready(allow_partial=self.router.idle))
 
     def flush_now(self) -> int:
@@ -232,12 +389,32 @@ class _ModelWorker:
         return sum(chunk.size for chunk in chunks)
 
     def _schedule(self, chunks: list[FlushChunk]) -> None:
-        for chunk in chunks:
+        for index, chunk in enumerate(chunks):
             # Route at schedule time and count the replica busy immediately —
             # a task that has not yet acquired the replica lock must already
             # register as load, or a burst of submits convoys onto one
             # replica (and pops a convoy of partial singles).
             replica = self.router.pick()
+            if replica is None:
+                # No replica is admittable *right now*.  If some breaker is
+                # half-open (its probe in flight) or cooling towards a probe,
+                # push the popped work back into the queue to wait for the
+                # verdict; only when every breaker is open and cold does the
+                # work fail fast as ``unavailable``.
+                for waiting in reversed(chunks[index:]):
+                    if self.router.any_available():
+                        self.batcher.requeue(waiting)
+                    else:
+                        self.batcher.fail_chunk(
+                            waiting,
+                            UnavailableError(
+                                f"model {self.name!r}: all replica circuit "
+                                "breakers are open"
+                            ),
+                        )
+                        for handle in waiting.handles:
+                            self._resolve(handle)
+                return
             replica.active += 1
             chunk.scheduled_at = self.batcher.clock()
             self.server._track_task(
@@ -246,19 +423,32 @@ class _ModelWorker:
 
     async def _run_chunk(self, chunk: FlushChunk, replica: _Replica) -> None:
         error: BaseException | None = None
+        ran = False
+        handles: list[PendingPrediction] = []
         try:
-            async with replica.lock:
-                try:
-                    await self.server._loop.run_in_executor(
-                        self.server._executor,
-                        self.batcher.run_chunk,
-                        chunk,
-                        replica.predictor,
-                    )
-                except Exception as exc:
-                    # Terminal errors are already set on the handles; keep the
-                    # exception for accounting, never let it kill the task.
-                    error = exc
+            # Sweep deadline-expired rows *before* paying for inference —
+            # their clients already gave up; answer them now and run the
+            # forward on the survivors only.
+            for handle in self.batcher.expire_chunk(chunk):
+                self._resolve(handle)
+            if chunk.handles:
+                async with replica.lock:
+                    # run_chunk re-sweeps under its own clock read; snapshot
+                    # the handle list so rows it expires still resolve below.
+                    handles = list(chunk.handles)
+                    try:
+                        ran = True
+                        await self.server._loop.run_in_executor(
+                            self.server._executor,
+                            self.batcher.run_chunk,
+                            chunk,
+                            replica.predictor,
+                        )
+                    except Exception as exc:
+                        # Terminal errors are already set on the handles; keep
+                        # the exception for accounting, never let it kill the
+                        # task.
+                        error = exc
         finally:
             replica.active -= 1
             replica.chunks += 1
@@ -266,10 +456,11 @@ class _ModelWorker:
             # failed flush (or a shutdown race) leaves terminal errors on
             # some or all of them.
             replica.completed += sum(
-                1 for handle in chunk.handles if handle.error is None
+                1 for handle in handles if handle.error is None
             )
             if error is not None:
                 replica.errors += 1
+                self._record_breaker(replica, failed=True)
                 self.server._log.error(
                     "flush_error",
                     model=self.name,
@@ -282,11 +473,45 @@ class _ModelWorker:
                     self.server.metrics.counter(
                         "serve_flush_errors", model=self.name
                     ).inc()
-            for handle in chunk.handles:
+            elif ran:
+                # Only a forward that actually executed votes on replica
+                # health; an all-expired chunk says nothing about it.
+                self._record_breaker(replica, failed=False)
+            for handle in handles:
                 self._resolve(handle)
             # A flush just finished: anything that queued behind it may now
             # be popped (as one coalesced batch).
             self.drain()
+
+    def _record_breaker(self, replica: _Replica, *, failed: bool) -> None:
+        """Feed a chunk verdict to the replica's breaker; log transitions."""
+        breaker = replica.breaker
+        before = breaker.state
+        if failed:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+        if breaker.state == before:
+            return
+        self.server._log.warning(
+            "breaker_transition",
+            model=self.name,
+            replica=replica.index,
+            state=breaker.state,
+            consecutive_errors=breaker.consecutive_errors,
+        )
+        if self.server.instrument:
+            if breaker.state == CircuitBreaker.OPEN:
+                self.server.metrics.counter(
+                    "serve_breaker_opened", model=self.name
+                ).inc()
+            self.server.metrics.gauge("serve_breaker_open", model=self.name).set(
+                sum(
+                    1
+                    for r in self.replicas
+                    if r.breaker.state != CircuitBreaker.CLOSED
+                )
+            )
 
     def _resolve(self, handle: PendingPrediction) -> None:
         entry = self._waiters.pop(handle, None)
@@ -296,6 +521,12 @@ class _ModelWorker:
         if not future.done():
             future.set_result(handle)
         self.server._note_inflight(-1)
+        if self.server.instrument and isinstance(
+            handle.error, DeadlineExceededError
+        ):
+            self.server.metrics.counter(
+                "serve_deadline_expired", model=self.name
+            ).inc()
         if handle.error is None:
             latency = self.server._loop.time() - submitted_at
             self.completed += 1
@@ -344,6 +575,7 @@ class _ModelWorker:
                     "chunks": replica.chunks,
                     "completed": replica.completed,
                     "errors": replica.errors,
+                    "breaker": replica.breaker.snapshot(),
                     # Compiled-fast-path observability; None for predictors
                     # without a plan cache (e.g. test stubs).
                     "compile": replica.predictor.compile_stats()
@@ -357,6 +589,7 @@ class _ModelWorker:
             "total_batches": batcher.total_batches,
             "total_completed": batcher.total_completed,
             "total_failed": batcher.total_failed,
+            "total_expired": batcher.total_expired,
             "mean_batch_size": round(batcher.mean_batch_size, 3),
             "max_batch_size": batcher.max_batch_size,
             "num_samples": batcher.num_samples,
@@ -422,6 +655,13 @@ class AsyncServingServer:
         *capture* (a few clock reads per flush chunk) and per-request
         ``trace: true`` replies work regardless — this flag only controls
         histogram recording.
+    breaker_threshold, breaker_cooldown : default circuit-breaker tuning
+        for every replica (``add_model`` may override per model): a replica
+        whose chunks fail ``breaker_threshold`` times in a row is taken out
+        of routing for ``breaker_cooldown`` seconds, then probed half-open.
+    stop_timeout : grace period :meth:`stop` gives in-flight response tasks
+        before cancelling them (survivors are counted in
+        ``stats.server.abandoned_tasks`` and logged).
     """
 
     def __init__(
@@ -434,6 +674,9 @@ class AsyncServingServer:
         flush_interval: float = 0.001,
         seed: int = 0,
         instrument: bool = True,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
+        stop_timeout: float = 5.0,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
@@ -446,6 +689,9 @@ class AsyncServingServer:
         self.flush_interval = flush_interval
         self.seed = seed
         self.instrument = bool(instrument)
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.stop_timeout = stop_timeout
         #: Server-wide instrument registry (the ``metrics`` op's payload).
         self.metrics = MetricsRegistry()
         self._log = get_logger("repro.serve")
@@ -470,6 +716,8 @@ class AsyncServingServer:
         self.rejected_overload = 0
         self.internal_errors = 0
         self.total_connections = 0
+        self.abandoned_tasks = 0
+        self.model_swaps = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -503,6 +751,25 @@ class AsyncServingServer:
         predictors = (
             list(predictor) if isinstance(predictor, (list, tuple)) else [predictor]
         )
+        replicas = self._build_replicas(name, predictors, weights)
+        batcher = MicroBatcher(
+            predictors[0],
+            num_samples=num_samples,
+            max_batch_size=max_batch_size,
+            max_wait=max_wait,
+            max_neighbours=max_neighbours,
+            seed_per_flush=self.seed,
+            auto_flush=False,
+        )
+        self._models[name] = _ModelWorker(self, name, batcher, replicas)
+
+    def _build_replicas(
+        self,
+        name: str,
+        predictors: list[Predictor],
+        weights: list[float] | None,
+    ) -> list[_Replica]:
+        """Validate a replica pool and wrap it with fresh circuit breakers."""
         if not predictors:
             raise ValueError(f"model {name!r} needs at least one replica")
         if weights is None:
@@ -518,20 +785,90 @@ class AsyncServingServer:
                 "state is not thread-safe); load the checkpoint once per "
                 "replica instead"
             )
-        batcher = MicroBatcher(
-            predictors[0],
-            num_samples=num_samples,
-            max_batch_size=max_batch_size,
-            max_wait=max_wait,
-            max_neighbours=max_neighbours,
-            seed_per_flush=self.seed,
-            auto_flush=False,
-        )
-        replicas = [
-            _Replica(index, pred, float(weight))
+        return [
+            _Replica(
+                index,
+                pred,
+                float(weight),
+                CircuitBreaker(self.breaker_threshold, self.breaker_cooldown),
+            )
             for index, (pred, weight) in enumerate(zip(predictors, weights))
         ]
-        self._models[name] = _ModelWorker(self, name, batcher, replicas)
+
+    async def swap_model(
+        self,
+        name: str,
+        predictor_factory: Callable[[], Predictor],
+        replicas: int = 1,
+        *,
+        weights: list[float] | None = None,
+        drain_timeout: float = 30.0,
+    ) -> dict:
+        """Zero-downtime rollout: promote a new replica set behind ``name``.
+
+        Blue/green in place: ``predictor_factory`` is called once per new
+        replica on the worker pool (checkpoint loading never blocks the
+        event loop), then — in one synchronous step on the loop — the
+        model's router is repointed at the new replicas and the shared
+        batcher's collate predictor is updated.  Queued requests and every
+        later submit run on the new set; chunks already routed to the old
+        replicas finish there and are drained before this method returns.
+
+        The replay invariant survives the swap because the batcher — the
+        queue, the ``batch_id`` sequence, the per-flush ``(seed, batch_id)``
+        noise derivation — is untouched.  The returned ``cutover_batch_id``
+        marks the boundary: responses with ``meta.batch_id`` below it came
+        from the old predictor, at or above it from the new one, so both
+        sides replay offline against their respective checkpoints.
+
+        Must be called from the server's event loop (use
+        :meth:`ServerThread.swap_model` from sync code).
+        """
+        worker = self._models.get(name)
+        if worker is None:
+            raise ValueError(f"unknown model {name!r}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        new_predictors = [
+            await self._loop.run_in_executor(self._executor, predictor_factory)
+            for _ in range(replicas)
+        ]
+        new_replicas = self._build_replicas(name, new_predictors, weights)
+        # --- atomic promotion: no await between here and the router swap ---
+        old_replicas = worker.replicas
+        cutover = worker.batcher.next_batch_id
+        worker.replicas = new_replicas
+        worker.router = Router(new_replicas)
+        worker.batcher.predictor = new_predictors[0]
+        # ------------------------------------------------------------------
+        self.model_swaps += 1
+        # Old chunks were routed before the cutover; let them finish on the
+        # old module trees (they hold the replica locks they need).
+        deadline = self._loop.time() + drain_timeout
+        while any(replica.active for replica in old_replicas):
+            if self._loop.time() > deadline:
+                raise TimeoutError(
+                    f"old replicas of {name!r} still busy after "
+                    f"{drain_timeout}s drain"
+                )
+            await asyncio.sleep(self.flush_interval)
+        worker.drain()  # anything withheld during the drain pops now
+        drained_chunks = sum(replica.chunks for replica in old_replicas)
+        self._log.info(
+            "model_swapped",
+            model=name,
+            replicas=len(new_replicas),
+            cutover_batch_id=cutover,
+            drained_chunks=drained_chunks,
+        )
+        if self.instrument:
+            self.metrics.counter("serve_model_swaps", model=name).inc()
+        return {
+            "model": name,
+            "replicas": len(new_replicas),
+            "cutover_batch_id": cutover,
+            "drained_chunks": drained_chunks,
+        }
 
     @property
     def address(self) -> tuple[str, int]:
@@ -607,10 +944,25 @@ class AsyncServingServer:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
         for worker in self._models.values():
             worker.resolve_terminal()
-        # Give response tasks a chance to write their final frames.
+        # Give response tasks a chance to write their final frames; tasks
+        # that outlive the grace period are cancelled (not silently
+        # abandoned) and counted, so a wedged writer can never hold stop()
+        # hostage or leak a running task past shutdown.
         pending = [t for conn in self._connections for t in conn.tasks]
         if pending:
-            await asyncio.wait(pending, timeout=5.0)
+            done, survivors = await asyncio.wait(
+                pending, timeout=self.stop_timeout
+            )
+            if survivors:
+                self.abandoned_tasks += len(survivors)
+                self._log.warning(
+                    "stop_abandoned_tasks",
+                    count=len(survivors),
+                    timeout_s=self.stop_timeout,
+                )
+                for task in survivors:
+                    task.cancel()
+                await asyncio.gather(*survivors, return_exceptions=True)
         for conn in list(self._connections):
             conn.writer.close()
         if self._server is not None:
@@ -623,6 +975,7 @@ class AsyncServingServer:
             accepted=self.accepted,
             rejected_overload=self.rejected_overload,
             internal_errors=self.internal_errors,
+            abandoned_tasks=self.abandoned_tasks,
         )
 
     async def _flush_loop(self) -> None:
@@ -698,6 +1051,18 @@ class AsyncServingServer:
             result = await handler(conn, message)
         except ProtocolError as error:
             await reply(protocol.error_response(req_id, error.code, str(error)))
+        except DeadlineExceededError as error:
+            await reply(
+                protocol.error_response(
+                    req_id, protocol.E_DEADLINE_EXCEEDED, str(error)
+                )
+            )
+        except UnavailableError as error:
+            if self.instrument:
+                self.metrics.counter("serve_rejected_unavailable").inc()
+            await reply(
+                protocol.error_response(req_id, protocol.E_UNAVAILABLE, str(error))
+            )
         except OverloadedError as error:
             self.rejected_overload += 1
             self._log.warning(
@@ -768,6 +1133,26 @@ class AsyncServingServer:
     def _note_inflight(self, delta: int) -> None:
         self.in_flight += delta
         self.in_flight_peak = max(self.in_flight_peak, self.in_flight)
+
+    @staticmethod
+    def _deadline(message: dict, worker: _ModelWorker) -> float | None:
+        """Absolute expiry (batcher clock) from the ``deadline_ms`` field.
+
+        Additive envelope field, same pattern as the ``metrics`` op: absent
+        means no deadline, so v1 peers and old clients are untouched.  The
+        wire value is *relative* milliseconds — the client's clock never has
+        to agree with the server's.
+        """
+        raw = message.get("deadline_ms")
+        if raw is None:
+            return None
+        if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw <= 0:
+            raise ProtocolError(
+                f"'deadline_ms' must be a positive number of milliseconds, "
+                f"got {raw!r}",
+                protocol.E_BAD_REQUEST,
+            )
+        return worker.batcher.clock() + float(raw) / 1000.0
 
     @staticmethod
     def _wire_dtype(message: dict) -> str | None:
@@ -845,6 +1230,8 @@ class AsyncServingServer:
                 "accepted": self.accepted,
                 "rejected_overload": self.rejected_overload,
                 "internal_errors": self.internal_errors,
+                "abandoned_tasks": self.abandoned_tasks,
+                "model_swaps": self.model_swaps,
                 "workers": self.num_workers,
             },
             "models": {name: worker.stats() for name, worker in self._models.items()},
@@ -908,12 +1295,14 @@ class AsyncServingServer:
         domain_id = message.get("domain_id", 0)
         if not isinstance(domain_id, int) or isinstance(domain_id, bool):
             raise ProtocolError("'domain_id' must be an integer", protocol.E_BAD_REQUEST)
+        deadline = self._deadline(message, worker)
         try:
             request = PredictRequest(
                 request_id=(conn.conn_id, message.get("id")),
                 obs=obs,
                 neighbours=neighbours,
                 domain_id=domain_id,
+                deadline=deadline,
             )
         except ValueError as error:
             raise ProtocolError(str(error), protocol.E_BAD_REQUEST) from error
@@ -943,10 +1332,14 @@ class AsyncServingServer:
         trace = bool(message.get("trace"))
         wire_dtype = self._wire_dtype(message)
         frame = int(_require(message, "frame", (int,), "an integer frame number"))
+        deadline = self._deadline(message, worker)
         windows = self._conn_windows(conn, worker)
         requests = windows.requests(frame)
         if not requests:
             return {"agents": {}}
+        if deadline is not None:
+            for request in requests:
+                request.deadline = deadline
         self._admit(len(requests))
         futures = []
         try:
@@ -1039,6 +1432,26 @@ class ServerThread:
             self._loop = None
             raise error
         return self.server.address
+
+    def swap_model(
+        self,
+        name: str,
+        predictor_factory: Callable[[], Predictor],
+        replicas: int = 1,
+        *,
+        weights: list[float] | None = None,
+        timeout: float = 60.0,
+    ) -> dict:
+        """Blocking wrapper around :meth:`AsyncServingServer.swap_model`."""
+        if self._thread is None or self._loop is None or self._loop.is_closed():
+            raise RuntimeError("server thread not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.swap_model(
+                name, predictor_factory, replicas, weights=weights
+            ),
+            self._loop,
+        )
+        return future.result(timeout)
 
     def stop(self, timeout: float = 30.0) -> None:
         if self._thread is None or self._loop is None or self._loop.is_closed():
