@@ -27,6 +27,12 @@ acceptance gates:
   which replica ran a batch.
 * **v1 compatibility** — a protocol-v1 JSON-only client completes the full
   observe -> predict -> stats flow against the v2 server.
+* **horizontal scale (PR 9)** — with the replica slots running as child
+  *processes* (``workers=N`` + a ``WorkerSpec``), 2 workers must reach
+  >= 1.5x the 1-worker throughput on >= 2 CPUs (process workers escape the
+  GIL; the floor is the IPC budget), and every served prediction — from
+  any worker, either encoding — must still replay offline to 1e-6 against
+  a local predictor built from the same seed.
 * **tail latency (PR 7)** — the server-side latency *histogram* (not the
   client's stopwatch) must report p99 <= ``MAX_P99_RATIO`` x p50 under the
   closed-loop concurrent load, read back through the ``metrics`` op.
@@ -59,6 +65,7 @@ from repro.serve import (
     PredictRequest,
     ServerThread,
     ServingClient,
+    WorkerSpec,
     collate_requests,
 )
 from repro.serve import protocol
@@ -80,6 +87,13 @@ REPLICA_REQUESTS_PER_CLIENT = 8
 MIN_REPLICA_SPEEDUP = 1.5
 #: Binary predict response must be at most this fraction of JSON bytes.
 MAX_BINARY_RATIO = 0.40
+#: Horizontal-scale gate (PR 9): 2 worker *processes* vs 1 at the same K=20
+#: regime as the replica phase.  0.75 x N efficiency on N=2 CPUs — process
+#: workers escape the GIL, so the floor is what IPC (one binary chunk frame
+#: per flush) is allowed to cost.  Like the replica gate, the ratio is always
+#: recorded but only *gated* on multi-CPU hosts.
+WORKER_REQUESTS_PER_CLIENT = 8
+MIN_WORKER_SPEEDUP = 1.5
 #: Coalescing window: a partial batch waits up to this long for stragglers.
 #: The knob trades idle-client latency (the sequential phase pays ~2ms per
 #: request) for loaded throughput (concurrent batches fill to ~7-8 rows);
@@ -379,6 +393,99 @@ def bench_replicas_and_binary(blocks: int = 2) -> dict:
     return results
 
 
+def start_worker_pool_server(num_workers: int) -> tuple[ServerThread, str, int]:
+    """A server whose replica slots are supervised child processes.
+
+    The worker factory is :func:`repro.serve.workers.seeded_predictor` with
+    the same seed as :func:`make_predictor`, so every child builds weights
+    numerically identical to the local replay oracle — the process-sharding
+    equivalent of "the same checkpoint loaded N times".
+    """
+    server = AsyncServingServer(
+        max_in_flight=512,
+        # Parent threads only block on worker sockets (GIL released while a
+        # child computes), so the pool needs >= one thread per process slot.
+        workers=num_workers + 1,
+        seed=SEED,
+        flush_interval=FLUSH_INTERVAL,
+    )
+    server.add_model(
+        MODEL,
+        WorkerSpec(
+            factory="repro.serve.workers:seeded_predictor", kwargs={"seed": 0}
+        ),
+        workers=num_workers,
+        num_samples=REPLICA_NUM_SAMPLES,
+        max_batch_size=32,
+        max_wait=MAX_WAIT,
+    )
+    thread = ServerThread(server)
+    host, port = thread.start()
+    return thread, host, port
+
+
+def bench_workers(blocks: int = 2) -> dict:
+    """PR 9 gate: process workers scale across CPUs, replay unchanged.
+
+    The identical mixed-encoding closed-loop load as the replica phase, but
+    with the forward running in supervised child processes: 1-worker vs
+    2-worker throughput, per-worker chunk/process stats, and an offline
+    replay of *every* record against a local predictor — served samples
+    must be independent of which process ran the flush.
+    """
+    results: dict = {
+        "num_samples": REPLICA_NUM_SAMPLES,
+        "num_clients": NUM_CLIENTS,
+        "requests_per_client": WORKER_REQUESTS_PER_CLIENT,
+        "cpu_count": os.cpu_count(),
+    }
+    reference = make_predictor()  # replay oracle: same seed as every worker
+
+    def timed_load(num_workers: int) -> tuple[float, list]:
+        thread, host, port = start_worker_pool_server(num_workers)
+        try:
+            run_load(host, port, 2, 4, mixed_binary=True)  # warm-up
+            best_s, all_records = float("inf"), []
+            for _ in range(blocks):
+                elapsed, records = run_load(
+                    host,
+                    port,
+                    NUM_CLIENTS,
+                    WORKER_REQUESTS_PER_CLIENT,
+                    mixed_binary=True,
+                )
+                best_s = min(best_s, elapsed)
+                all_records.extend(records)
+            with ServingClient.connect(host, port) as client:
+                replicas = client.stats()["models"][MODEL]["replicas"]
+            key = f"{num_workers}_worker"
+            results[f"{key}_chunks"] = [r["chunks"] for r in replicas]
+            results[f"{key}_processes"] = [
+                {k: r["worker"][k] for k in ("pid", "alive", "respawns")}
+                for r in replicas
+            ]
+            assert all(r["worker"]["alive"] for r in replicas), (
+                f"worker died under benchmark load: {replicas}"
+            )
+        finally:
+            thread.stop()
+        return best_s, all_records
+
+    single_s, single_records = timed_load(1)
+    double_s, double_records = timed_load(2)
+    total = NUM_CLIENTS * WORKER_REQUESTS_PER_CLIENT
+    results["one_worker_req_per_s"] = round(total / single_s, 2)
+    results["two_worker_req_per_s"] = round(total / double_s, 2)
+    results["worker_speedup"] = round(single_s / double_s, 3)
+    # Replay per topology: each server has its own batch_id sequence.
+    results["equivalence_batches_checked"] = check_equivalence(
+        reference, single_records, num_samples=REPLICA_NUM_SAMPLES
+    ) + check_equivalence(
+        reference, double_records, num_samples=REPLICA_NUM_SAMPLES
+    )
+    return results
+
+
 def run_traced_client(
     host: str, port: int, client_id: int, num_requests: int
 ) -> list:
@@ -493,6 +600,7 @@ def bench(blocks: int = 2) -> dict:
     return {
         "coalescing": bench_coalescing(blocks),
         "replicas_and_binary": bench_replicas_and_binary(blocks),
+        "workers": bench_workers(blocks),
         "observability": bench_observability(blocks),
     }
 
@@ -532,6 +640,20 @@ def assert_gates(stats: dict) -> None:
         assert replicas["replica_speedup"] >= MIN_REPLICA_SPEEDUP, (
             f"2 replicas only {replicas['replica_speedup']:.2f}x over 1 on "
             f"{os.cpu_count()} CPUs (gate: {MIN_REPLICA_SPEEDUP}x): {replicas}"
+        )
+    workers = stats["workers"]
+    assert workers["equivalence_batches_checked"] > 0, workers
+    if (os.cpu_count() or 1) >= 2:
+        # 1-CPU hosts: IPC overhead with no second core to hide it on — the
+        # ratio is recorded, not gated (the crash/stall/replay contracts are
+        # gated deterministically in tests/serve/test_workers.py).
+        assert all(count > 0 for count in workers["2_worker_chunks"]), (
+            f"the router starved a worker process: {workers['2_worker_chunks']}"
+        )
+        assert workers["worker_speedup"] >= MIN_WORKER_SPEEDUP, (
+            f"2 worker processes only {workers['worker_speedup']:.2f}x over 1 "
+            f"on {os.cpu_count()} CPUs (gate: {MIN_WORKER_SPEEDUP}x — 0.75xN "
+            f"horizontal efficiency): {workers}"
         )
     obs = stats["observability"]
     assert obs["latency_count"] > 0, f"latency histogram recorded nothing: {obs}"
@@ -583,6 +705,23 @@ def test_single_round_trip_equivalence_compiled():
     stats = served.compile_stats()
     assert stats["broken"] is None and stats["plans"] > 0, stats
     assert check_equivalence(make_predictor(), records) >= 1
+
+
+def test_worker_pool_round_trip_equivalence():
+    """Cheap standalone worker smoke: one child process, served predictions
+    replayed offline against a local predictor built from the same seed —
+    the replay invariant must be independent of process placement."""
+    thread, host, port = start_worker_pool_server(1)
+    try:
+        _, records = run_load(host, port, 1, 6)
+        with ServingClient.connect(host, port) as client:
+            replicas = client.stats()["models"][MODEL]["replicas"]
+        assert replicas[0]["worker"]["alive"] is True
+    finally:
+        thread.stop()
+    assert check_equivalence(
+        make_predictor(), records, num_samples=REPLICA_NUM_SAMPLES
+    ) >= 1
 
 
 def test_v1_client_compat_smoke():

@@ -11,9 +11,11 @@ The inference-side counterpart to the training stack, in two layers:
 * **Network** — :class:`AsyncServingServer`, an asyncio TCP front-end
   speaking a length-prefixed JSON/binary protocol (:mod:`repro.serve.protocol`)
   with admission control, externally-driven batching, and weighted
-  :class:`Router`-based replica pools, plus the blocking
-  :class:`ServingClient` with :class:`RetryPolicy` backoff and a binary
-  payload mode.
+  :class:`Router`-based replica pools — in-process, or as supervised child
+  processes (:class:`WorkerPool`/:class:`WorkerPredictor`,
+  :mod:`repro.serve.workers`) that escape the GIL while keeping the replay
+  invariant — plus the blocking :class:`ServingClient` with
+  :class:`RetryPolicy` backoff and a binary payload mode.
 
 Serving invariants (see ``docs/architecture.md`` and ``docs/serving.md``):
 
@@ -62,6 +64,14 @@ from repro.serve.server import (
     UnavailableError,
 )
 from repro.serve.streaming import StreamingWindows
+from repro.serve.workers import (
+    WorkerCrashedError,
+    WorkerPool,
+    WorkerPredictor,
+    WorkerSpawnError,
+    WorkerSpec,
+    WorkerStallError,
+)
 
 __all__ = [
     "AsyncServingServer",
@@ -89,5 +99,11 @@ __all__ = [
     "ServingEngine",
     "StreamingWindows",
     "UnavailableError",
+    "WorkerCrashedError",
+    "WorkerPool",
+    "WorkerPredictor",
+    "WorkerSpawnError",
+    "WorkerSpec",
+    "WorkerStallError",
     "collate_requests",
 ]

@@ -47,6 +47,8 @@ __all__ = [
     "PendingPrediction",
     "PredictRequest",
     "ServingClosedError",
+    "batch_from_wire",
+    "batch_to_wire",
     "collate_requests",
 ]
 
@@ -220,6 +222,77 @@ def collate_requests(
         futures=None,
         pred_len=pred_len,
         max_neighbours=max_neighbours,
+    )
+
+
+def batch_to_wire(batch: Batch) -> dict:
+    """Serialize a collated serving :class:`Batch` for a worker chunk frame.
+
+    Collation happens *parent-side* (one shared queue / ``batch_id``
+    sequence per model), so a worker process receives exactly the padded
+    tensors an in-process replica would see — the replay invariant cannot
+    depend on worker placement.  All fields ride the binary tensor tail
+    (float64 on the wire; ``neighbour_mask``/``domain_ids`` are carried as
+    floats because the tail admits ``<f4``/``<f8`` only) except ``future``,
+    which is zero-filled in serving batches and travels as its length alone.
+    """
+    return {
+        "obs": np.asarray(batch.obs, dtype=np.float64),
+        "neighbours": np.asarray(batch.neighbours, dtype=np.float64),
+        "neighbour_mask": np.asarray(batch.neighbour_mask, dtype=np.float64),
+        "domain_ids": np.asarray(batch.domain_ids, dtype=np.float64),
+        "origins": np.asarray(batch.origins, dtype=np.float64),
+        "pred_len": int(batch.future.shape[1]),
+    }
+
+
+def batch_from_wire(fields: dict) -> Batch:
+    """Rebuild the exact collated :class:`Batch` from :func:`batch_to_wire`.
+
+    Validates shapes/dtypes defensively (the other end of this exchange is a
+    network socket) and restores the native dtypes of the collate core —
+    ``bool`` mask, ``int64`` domain ids, zero-filled ``future`` — so the
+    worker's forward is bit-identical to the parent running the same chunk.
+    Raises :class:`ValueError` on malformed fields; worker hosts map that to
+    a typed ``bad_request`` response.
+    """
+    if not isinstance(fields, dict):
+        raise ValueError(f"worker batch must be a mapping, got {type(fields).__name__}")
+    try:
+        obs = np.asarray(fields["obs"], dtype=np.float64)
+        neighbours = np.asarray(fields["neighbours"], dtype=np.float64)
+        mask_f = np.asarray(fields["neighbour_mask"], dtype=np.float64)
+        domain_f = np.asarray(fields["domain_ids"], dtype=np.float64)
+        origins = np.asarray(fields["origins"], dtype=np.float64)
+        pred_len = int(fields["pred_len"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"malformed worker batch: {error}") from error
+    if obs.ndim != 3 or obs.shape[2] != 2:
+        raise ValueError(f"obs must be [B, obs_len, 2], got {obs.shape}")
+    batch_size, obs_len = obs.shape[0], obs.shape[1]
+    if neighbours.shape[:1] + neighbours.shape[2:] != (batch_size, obs_len, 2):
+        raise ValueError(
+            f"neighbours must be [B, K, obs_len, 2] matching obs {obs.shape}, "
+            f"got {neighbours.shape}"
+        )
+    if mask_f.shape != neighbours.shape[:2]:
+        raise ValueError(
+            f"neighbour_mask must be [B, K] = {neighbours.shape[:2]}, "
+            f"got {mask_f.shape}"
+        )
+    if domain_f.shape != (batch_size,):
+        raise ValueError(f"domain_ids must be [B], got {domain_f.shape}")
+    if origins.shape != (batch_size, 2):
+        raise ValueError(f"origins must be [B, 2], got {origins.shape}")
+    if pred_len < 1:
+        raise ValueError(f"pred_len must be >= 1, got {pred_len}")
+    return Batch(
+        obs=obs,
+        future=np.zeros((batch_size, pred_len, 2)),
+        neighbours=neighbours,
+        neighbour_mask=mask_f > 0.5,
+        domain_ids=domain_f.astype(np.int64),
+        origins=origins,
     )
 
 

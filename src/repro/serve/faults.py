@@ -31,6 +31,7 @@ drop fault severs the TCP stream.  Successful responses therefore keep the
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 import threading
@@ -49,7 +50,11 @@ __all__ = [
     "FaultyPredictor",
 ]
 
-KINDS = ("error", "latency", "stall", "drop")
+KINDS = ("error", "latency", "stall", "drop", "crash")
+
+#: Exit code of a ``crash`` fault — distinctive, so a worker supervisor log
+#: can tell an injected crash from a real one.
+CRASH_EXIT_CODE = 121
 
 
 class FaultError(RuntimeError):
@@ -72,7 +77,10 @@ class FaultRule:
     kind : ``"error"`` raises :class:`FaultError`; ``"latency"`` sleeps
         ``delay`` seconds then proceeds; ``"stall"`` sleeps like latency but
         models a hang (use a delay past the victim's deadline); ``"drop"``
-        tells a transport site to sever the connection.
+        tells a transport site to sever the connection; ``"crash"`` hard-
+        exits the *process* (``os._exit``) — only meaningful inside a worker
+        child (:mod:`repro.serve.workers`), where it deterministically
+        simulates a replica process dying mid-chunk.
     rate : per-call injection probability in ``[0, 1]`` (1.0 = always).
     after : skip the first ``after`` calls at the site — lets a scenario
         warm up healthy before the storm starts.
@@ -166,6 +174,10 @@ class FaultPlan:
             return rule
         if rule.kind == "error":
             raise FaultError(f"{rule.message} (site={site!r})")
+        if rule.kind == "crash":
+            # A process crash, not an exception: nothing downstream of this
+            # line runs, exactly like a real SIGKILL mid-forward.
+            os._exit(CRASH_EXIT_CODE)
         return rule  # drop: caller-owned
 
     def calls(self, site: str) -> int:

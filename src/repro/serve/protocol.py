@@ -72,6 +72,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "OPERATIONS",
     "PROTOCOL_VERSION",
+    "WORKER_OPERATIONS",
     "SUPPORTED_VERSIONS",
     "TENSOR_DTYPES",
     "E_BAD_REQUEST",
@@ -116,6 +117,17 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 #: server's instrument-registry snapshot (an additive operation: adding it
 #: did not bump the protocol version, older clients simply never send it).
 OPERATIONS = ("observe", "predict", "flush", "stats", "health", "metrics")
+
+#: Operations of the private *worker plane* (parent router <-> worker child
+#: process, see :mod:`repro.serve.workers`).  Additive: worker hosts accept
+#: exactly these, the public server accepts exactly :data:`OPERATIONS`, and
+#: both reuse the same frames/envelope/error codes — no version bump.
+#:
+#: * ``worker_handshake`` — identity/shape exchange right after connect
+#:   (pid, ``obs_len``/``pred_len``, model description);
+#: * ``worker_chunk`` — one collated flush chunk: binary tensor fields plus
+#:   the exact serialized RNG state, answered with the sample tensor.
+WORKER_OPERATIONS = ("worker_handshake", "worker_chunk")
 
 #: Kind byte opening a binary (envelope + tensor tail) payload.  JSON
 #: payloads are recognized by their opening ``{`` (0x7B); 0x02 can never
@@ -440,11 +452,16 @@ def error_response(req_id, code: str, message: str) -> dict:
     }
 
 
-def validate_request(message: dict) -> tuple[str, object]:
+def validate_request(
+    message: dict, operations: tuple[str, ...] = OPERATIONS
+) -> tuple[str, object]:
     """Check version/id/op of an incoming request; returns ``(op, id)``.
 
     Raises :class:`ProtocolError` carrying the error code to answer with.
     The id is validated first so even version errors can be correlated.
+    ``operations`` selects the accepted plane: the public server validates
+    against :data:`OPERATIONS` (the default), worker hosts against
+    :data:`WORKER_OPERATIONS`.
     """
     req_id = message.get("id")
     if req_id is None or isinstance(req_id, (dict, list, bool)):
@@ -457,9 +474,9 @@ def validate_request(message: dict) -> tuple[str, object]:
             E_UNSUPPORTED_VERSION,
         )
     op = message.get("op")
-    if not isinstance(op, str) or op not in OPERATIONS:
+    if not isinstance(op, str) or op not in operations:
         raise ProtocolError(
-            f"unknown operation {op!r} (expected one of {', '.join(OPERATIONS)})",
+            f"unknown operation {op!r} (expected one of {', '.join(operations)})",
             E_UNKNOWN_OP,
         )
     return op, req_id

@@ -77,6 +77,7 @@ from repro.serve.batcher import (
 from repro.serve.predictor import Predictor
 from repro.serve.protocol import ProtocolError
 from repro.serve.streaming import StreamingWindows
+from repro.serve.workers import WorkerPool, WorkerSpec
 
 __all__ = [
     "AsyncServingServer",
@@ -581,6 +582,11 @@ class _ModelWorker:
                     "compile": replica.predictor.compile_stats()
                     if hasattr(replica.predictor, "compile_stats")
                     else None,
+                    # Child-process observability (pid/port/respawns); None
+                    # for in-process replicas.
+                    "worker": replica.predictor.worker_stats()
+                    if hasattr(replica.predictor, "worker_stats")
+                    else None,
                 }
                 for replica in self.replicas
             ],
@@ -699,6 +705,9 @@ class AsyncServingServer:
         #: are evicted on the next ``observe`` (bounds per-connection state).
         self.stale_after = 4
         self._models: dict[str, _ModelWorker] = {}
+        #: Worker-process pools owned by this server (``add_model`` with
+        #: ``workers=N``); closed — children killed — at :meth:`stop`.
+        self._worker_pools: list[WorkerPool] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -725,13 +734,15 @@ class AsyncServingServer:
     def add_model(
         self,
         name: str,
-        predictor: Predictor | list[Predictor] | tuple[Predictor, ...],
+        predictor: Predictor | list[Predictor] | tuple[Predictor, ...] | WorkerSpec,
         *,
         weights: list[float] | None = None,
         num_samples: int = 1,
         max_batch_size: int = 32,
         max_wait: float = 0.0,
         max_neighbours: int | None = None,
+        workers: int | None = None,
+        worker_chunk_timeout: float | None = None,
     ) -> None:
         """Register one predictor — or a replica pool — under ``name``.
 
@@ -745,12 +756,44 @@ class AsyncServingServer:
         one queue, one ``batch_id`` sequence, noise derived per flush from
         the server seed — so served outputs are replayable offline
         regardless of scheduling *and* routing.
+
+        **Worker processes**: pass a
+        :class:`~repro.serve.workers.WorkerSpec` plus ``workers=N`` to run
+        the N replica slots as supervised *child processes* instead of
+        threads (:mod:`repro.serve.workers`) — same router, same shared
+        queue/``batch_id``/RNG (collation stays parent-side), so replay is
+        unchanged while N CPUs buy ~N-x throughput.  Crash/stall of a child
+        trips that replica's circuit breaker exactly like an in-process
+        exception, and the pool supervisor respawns it.  Size the server's
+        thread pool (``AsyncServingServer(workers=...)``) to at least the
+        process count: parent threads only block on worker sockets (GIL
+        released) while children compute.
         """
         if name in self._models:
             raise ValueError(f"model {name!r} already registered")
-        predictors = (
-            list(predictor) if isinstance(predictor, (list, tuple)) else [predictor]
-        )
+        if isinstance(predictor, WorkerSpec):
+            pool = WorkerPool(
+                predictor,
+                1 if workers is None else workers,
+                name=name,
+                **(
+                    {}
+                    if worker_chunk_timeout is None
+                    else {"chunk_timeout": worker_chunk_timeout}
+                ),
+            )
+            self._worker_pools.append(pool)
+            predictors: list[Predictor] = list(pool.predictors)
+        elif workers is not None:
+            raise ValueError(
+                "workers=N spawns child processes and requires a WorkerSpec "
+                f"(got {type(predictor).__name__}); pass a replica list for "
+                "in-process threading instead"
+            )
+        else:
+            predictors = (
+                list(predictor) if isinstance(predictor, (list, tuple)) else [predictor]
+            )
         replicas = self._build_replicas(name, predictors, weights)
         batcher = MicroBatcher(
             predictors[0],
@@ -853,6 +896,10 @@ class AsyncServingServer:
                 )
             await asyncio.sleep(self.flush_interval)
         worker.drain()  # anything withheld during the drain pops now
+        # Drained worker-process replicas release their children here (a
+        # no-op for in-process predictors, which have no close()).
+        for replica in old_replicas:
+            self._close_predictor(replica.predictor)
         drained_chunks = sum(replica.chunks for replica in old_replicas)
         self._log.info(
             "model_swapped",
@@ -912,6 +959,25 @@ class AsyncServingServer:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
+    def _close_predictor(self, predictor) -> None:
+        """Release a replica predictor's external resources, if it has any.
+
+        In-process predictors have no ``close`` and are untouched;
+        :class:`~repro.serve.workers.WorkerPredictor` kills its supervised
+        child.  Failures are logged, never raised — teardown of one replica
+        must not abort shutdown/swap of the rest.
+        """
+        closer = getattr(predictor, "close", None)
+        if not callable(closer):
+            return
+        try:
+            closer()
+        except Exception as error:  # noqa: BLE001 — teardown must not cascade
+            self._log.warning(
+                "replica_close_failed",
+                error=f"{type(error).__name__}: {error}",
+            )
+
     async def stop(self) -> None:
         """Graceful, idempotent shutdown.
 
@@ -969,6 +1035,13 @@ class AsyncServingServer:
             await self._server.wait_closed()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        # Tear down worker processes last: in-executor chunks are finished,
+        # so killing the children can no longer fail a flush.
+        for worker in self._models.values():
+            for replica in worker.replicas:
+                self._close_predictor(replica.predictor)
+        for pool in self._worker_pools:
+            pool.close()
         self._log.info(
             "server_stopped",
             uptime_s=round(time.monotonic() - self._started_at, 3),
@@ -1495,13 +1568,27 @@ def main(argv: list[str] | None = None) -> None:
         "--replicas",
         type=int,
         default=1,
-        help="load each model this many times and route across the copies",
+        help="load each model this many times and route across the copies "
+        "(in one process; see --workers for process-level replicas)",
     )
     parser.add_argument("--num-samples", type=int, default=1)
     parser.add_argument("--max-batch-size", type=int, default=32)
     parser.add_argument("--max-wait", type=float, default=0.0)
     parser.add_argument("--max-in-flight", type=int, default=256)
-    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run each model's replicas as this many supervised child "
+        "processes loading from the same registry (0 = in-process replicas; "
+        "escapes the GIL, keeps (seed, batch_id) replay)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=0,
+        help="size of the flush thread pool (0 = auto: replicas/workers + 1)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--compile",
@@ -1511,19 +1598,44 @@ def main(argv: list[str] | None = None) -> None:
     )
     args = parser.parse_args(argv)
 
+    if args.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {args.replicas}")
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
     registry = ModelRegistry(args.registry)
+    slots = args.workers if args.workers else args.replicas
+    threads = args.threads if args.threads else slots + 1
     server = AsyncServingServer(
         args.host,
         args.port,
         max_in_flight=args.max_in_flight,
-        workers=args.workers,
+        workers=threads,
         seed=args.seed,
     )
-    if args.replicas < 1:
-        parser.error(f"--replicas must be >= 1, got {args.replicas}")
     for spec in args.model:
         name, _, version = spec.partition(":")
         resolved = int(version) if version else registry.latest_version(name)
+        if args.workers:
+            # Process-level replicas: each child loads the checkpoint from
+            # the shared registry itself (the spec crosses the process
+            # boundary as JSON, never as a live object).
+            server.add_model(
+                name,
+                WorkerSpec(
+                    factory="repro.serve.workers:registry_predictor",
+                    kwargs={
+                        "root": str(args.registry),
+                        "name": name,
+                        "version": resolved,
+                        "compile": bool(args.compile),
+                    },
+                ),
+                workers=args.workers,
+                num_samples=args.num_samples,
+                max_batch_size=args.max_batch_size,
+                max_wait=args.max_wait,
+            )
+            continue
         # One load per replica: each copy needs its own module tree.
         replicas = [
             registry.load(name, resolved, compile=args.compile)

@@ -99,7 +99,7 @@ def test_record_stages_feeds_per_model_histograms():
 def test_logger_emits_one_json_line_per_event():
     stream = io.StringIO()
     logger = JsonLogger("test", stream=stream)
-    logger.info("server_started", host="127.0.0.1", port=8707)
+    logger.info("server_started", host="127.0.0.1", port=0)
     logger.warning("overloaded", in_flight=9)
 
     lines = stream.getvalue().splitlines()
@@ -108,7 +108,7 @@ def test_logger_emits_one_json_line_per_event():
     assert first["event"] == "server_started"
     assert first["level"] == "info"
     assert first["logger"] == "test"
-    assert first["host"] == "127.0.0.1" and first["port"] == 8707
+    assert first["host"] == "127.0.0.1" and first["port"] == 0
     assert "ts" in first and first["ts"].endswith("+00:00")
     assert second["event"] == "overloaded" and second["level"] == "warning"
 

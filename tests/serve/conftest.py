@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 
@@ -17,6 +21,43 @@ def pytest_configure(config):
         "server_config(predictor=..., model=..., **server_kwargs): "
         "configuration for the `running` AsyncServingServer fixture",
     )
+
+
+#: Per-test wall-clock ceiling for the serve/chaos suites (seconds).  These
+#: tests drive sockets, worker processes, and deliberate stalls — a bug that
+#: hangs one of them must fail the test, never wedge the whole pipeline.
+SERVE_TEST_TIMEOUT = float(os.environ.get("REPRO_SERVE_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _serve_test_timeout(request):
+    """Harness-level per-test timeout guard (SIGALRM).
+
+    Skips itself when the platform has no SIGALRM, when not on the main
+    thread, or when the ``pytest-timeout`` plugin is active (CI installs it;
+    two owners of the same alarm would cancel each other's timers).
+    """
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+        or request.config.pluginmanager.hasplugin("timeout")
+    ):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"serve test exceeded {SERVE_TEST_TIMEOUT:.0f}s "
+            "(REPRO_SERVE_TEST_TIMEOUT) — likely a hung socket/worker"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, SERVE_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 TRAIN_DOMAINS = ["syi", "eth_ucy"]

@@ -257,3 +257,173 @@ class TestVersionNegotiation:
     def test_request_builder_stamps_current_version(self):
         assert protocol.request("health", 1)["v"] == protocol.PROTOCOL_VERSION
         assert protocol.PROTOCOL_VERSION == 2
+
+
+# ----------------------------------------------------------------------
+# Fuzz wall: garbage bytes against live endpoints (server + worker host)
+# ----------------------------------------------------------------------
+def corrupt_descriptor_frame() -> bytes:
+    """A full wire frame whose binary tensor descriptor lies about dtype."""
+    import json
+
+    frame = protocol.encode_binary_frame(
+        {"v": 2, "id": 1, "op": "predict", "model": "stub", "obs": np.zeros((8, 2))}
+    )
+    payload = frame[4:]
+    (elen,) = struct.unpack_from(">I", payload, 1)
+    envelope = json.loads(payload[5 : 5 + elen].decode())
+    envelope["obs"]["__tensor__"]["dtype"] = "<i8"
+    new_env = json.dumps(envelope, separators=(",", ":")).encode()
+    rebuilt = (
+        bytes((protocol.KIND_BINARY,))
+        + struct.pack(">I", len(new_env))
+        + new_env
+        + payload[5 + elen :]
+    )
+    return struct.pack(">I", len(rebuilt)) + rebuilt
+
+
+#: Byte blobs that corrupt the *framing* layer: the only safe answer is to
+#: sever the connection (the stream can no longer be trusted) — never to
+#: hang, and never to die with an unhandled traceback.
+GARBAGE_FRAMES = [
+    pytest.param(lambda: struct.pack(">I", 0xFFFF_FFF0), id="oversized-length-prefix"),
+    pytest.param(lambda: struct.pack(">I", 100) + b"x" * 10, id="truncated-frame"),
+    pytest.param(lambda: struct.pack(">I", 8) + b"\x03garbage", id="unknown-kind-byte"),
+    pytest.param(lambda: struct.pack(">I", 0), id="zero-length-frame"),
+    pytest.param(lambda: struct.pack(">I", 9) + b"not json!", id="unparseable-json"),
+    pytest.param(
+        lambda: struct.pack(">I", 3) + b"[1]", id="json-but-not-an-object"
+    ),
+    pytest.param(corrupt_descriptor_frame, id="corrupt-tensor-descriptor"),
+    pytest.param(lambda: b"\x00\x00", id="eof-inside-length-prefix"),
+]
+
+
+class _FuzzStub:
+    """Minimal predictor so the fuzzed server has a registered model."""
+
+    obs_len = 8
+    pred_len = 12
+
+    def predict_world(self, batch, num_samples, rng):
+        return np.zeros((num_samples, batch.obs.shape[0], self.pred_len, 2))
+
+
+@pytest.fixture(scope="module")
+def fuzz_server():
+    from repro.serve import AsyncServingServer, ServerThread
+
+    server = AsyncServingServer(workers=2, max_in_flight=16)
+    server.add_model("stub", _FuzzStub())
+    thread = ServerThread(server)
+    host, port = thread.start()
+    yield host, port
+    thread.stop()
+
+
+@pytest.fixture(scope="module")
+def fuzz_worker():
+    from repro.serve.workers import WorkerPredictor, WorkerSpec
+
+    predictor = WorkerPredictor(
+        WorkerSpec(factory="repro.serve.workers:seeded_predictor", kwargs={"seed": 0}),
+        label="fuzz",
+    )
+    yield "127.0.0.1", predictor.port
+    predictor.close()
+
+
+def throw_bytes(address, blob: bytes):
+    """Send raw bytes, then report how the peer reacted.
+
+    Returns ``("closed", None)`` for a clean close/EOF, ``("reply", frame)``
+    when the peer answered a well-formed frame.  A hang surfaces as
+    ``socket.timeout`` and fails the test.
+    """
+    import socket
+
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.settimeout(10)
+        sock.sendall(blob)
+        try:
+            sock.shutdown(socket.SHUT_WR)  # truncation cases: garbage then EOF
+        except OSError:
+            return "closed", None  # peer already severed the connection
+        try:
+            frame = protocol.read_frame_sync(sock)
+        except (ProtocolError, ConnectionError):
+            return "closed", None
+        return ("closed", None) if frame is None else ("reply", frame)
+
+
+def roundtrip(address, message: dict):
+    """One well-formed request → its response frame, on a fresh connection."""
+    import socket
+
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.settimeout(10)
+        protocol.write_frame_sync(sock, message)
+        return protocol.read_frame_sync(sock)
+
+
+class TestServerFuzz:
+    @pytest.mark.parametrize("blob", GARBAGE_FRAMES)
+    def test_garbage_framing_closes_cleanly(self, fuzz_server, blob):
+        outcome, frame = throw_bytes(fuzz_server, blob())
+        if outcome == "reply":  # a reply is acceptable only as a typed error
+            assert frame["ok"] is False and frame["error"]["code"]
+        # Collateral check: the listener itself must have survived.
+        health = roundtrip(fuzz_server, protocol.request("health", 1))
+        assert health["ok"] is True
+
+    def test_unknown_op_is_typed_not_fatal(self, fuzz_server):
+        reply = roundtrip(fuzz_server, protocol.request("worker_chunk", 1))
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.E_UNKNOWN_OP
+
+    def test_bad_id_is_typed_bad_request(self, fuzz_server):
+        reply = roundtrip(fuzz_server, {"v": 2, "id": {"nested": 1}, "op": "health"})
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.E_BAD_REQUEST
+
+    def test_server_survives_sustained_garbage(self, fuzz_server):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            blob = rng.bytes(int(rng.integers(1, 200)))
+            throw_bytes(fuzz_server, blob)
+        health = roundtrip(fuzz_server, protocol.request("health", 1))
+        assert health["ok"] is True
+
+
+class TestWorkerHostFuzz:
+    """The same wall, against a live worker child's handshake socket."""
+
+    @pytest.mark.parametrize("blob", GARBAGE_FRAMES)
+    def test_garbage_framing_closes_cleanly(self, fuzz_worker, blob):
+        outcome, frame = throw_bytes(fuzz_worker, blob())
+        if outcome == "reply":
+            assert frame["ok"] is False and frame["error"]["code"]
+        hello = roundtrip(fuzz_worker, protocol.request("worker_handshake", 1))
+        assert hello["ok"] is True
+        assert hello["result"]["obs_len"] == 8
+
+    def test_serving_plane_op_rejected_on_worker_plane(self, fuzz_worker):
+        reply = roundtrip(fuzz_worker, protocol.request("predict", 1, model="m"))
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.E_UNKNOWN_OP
+
+    def test_malformed_chunk_fields_are_typed_bad_request(self, fuzz_worker):
+        reply = roundtrip(
+            fuzz_worker,
+            protocol.request("worker_chunk", 2, batch="junk", rng_state=None),
+        )
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == protocol.E_BAD_REQUEST
+
+    def test_worker_survives_sustained_garbage(self, fuzz_worker):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            throw_bytes(fuzz_worker, rng.bytes(int(rng.integers(1, 200))))
+        hello = roundtrip(fuzz_worker, protocol.request("worker_handshake", 9))
+        assert hello["ok"] is True
