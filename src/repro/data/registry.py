@@ -44,6 +44,7 @@ from repro.data.dataset import (
     extract_samples,
 )
 from repro.data.splits import DatasetSplits, chronological_split
+from repro.obs.log import get_logger
 from repro.sim.domains import DOMAIN_NAMES, get_domain
 from repro.sim.generator import generate_scenes
 from repro.utils.seeding import new_rng
@@ -83,8 +84,14 @@ class DataConfig:
 _CACHE: dict[tuple, DatasetSplits] = {}
 
 #: Counters for observing cache behaviour (tests and benchmarks reset+read
-#: these): ``memory_hits`` / ``disk_hits`` / ``misses`` (miss = simulated).
-cache_stats: dict[str, int] = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
+#: these): ``memory_hits`` / ``disk_hits`` / ``misses`` (miss = simulated) /
+#: ``dropped`` (corrupt or stale disk entries unlinked and regenerated).
+cache_stats: dict[str, int] = {
+    "memory_hits": 0,
+    "disk_hits": 0,
+    "misses": 0,
+    "dropped": 0,
+}
 
 
 def reset_cache_stats() -> None:
@@ -243,8 +250,15 @@ def _read_disk(
             )
     except FileNotFoundError:
         return None
-    except Exception:
+    except Exception as error:
         # Corrupt or stale entry (partial zip, schema drift): drop + regenerate.
+        cache_stats["dropped"] += 1
+        get_logger("repro.data.registry").warning(
+            "cache_entry_dropped",
+            path=path,
+            domain=domain,
+            error=f"{type(error).__name__}: {error}",
+        )
         try:
             os.unlink(path)
         except OSError:

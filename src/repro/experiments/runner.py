@@ -154,12 +154,12 @@ def run_grid_report(
     jobs = resolve_jobs(jobs)
     effective = max(1, min(jobs, len(specs)))
 
-    warm_start = time.perf_counter()
+    warm_start = time.perf_counter()  # lint: disable=REP-DET(timing meta only; RunResult.signature() excludes wall-clock fields)
     if warm_cache and effective > 1:
         _warm_dataset_cache(specs)
-    warm_seconds = time.perf_counter() - warm_start
+    warm_seconds = time.perf_counter() - warm_start  # lint: disable=REP-DET(timing meta only; RunResult.signature() excludes wall-clock fields)
 
-    start = time.perf_counter()
+    start = time.perf_counter()  # lint: disable=REP-DET(timing meta only; RunResult.signature() excludes wall-clock fields)
     if effective <= 1:
         results = [execute_spec(spec) for spec in specs]
     else:
@@ -177,7 +177,7 @@ def run_grid_report(
     return GridReport(
         results=results,
         jobs=effective,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=time.perf_counter() - start,  # lint: disable=REP-DET(timing meta only; RunResult.signature() excludes wall-clock fields)
         warm_seconds=warm_seconds,
     )
 

@@ -1,0 +1,55 @@
+"""``repro.lint`` — the repo's AST-based invariant linter.
+
+The architecture contract (``docs/architecture.md``) accumulates prose
+invariants; this package enforces the mechanically-checkable ones so every
+PR lands against a lint wall instead of re-learning old bugs.  Pure stdlib
+(``ast`` + ``tokenize``) — the CI lint job needs no numpy.
+
+Checkers (catalogue + policy in ``docs/lint.md``):
+
+========== =============================================================
+REP-DET    no module-level RNG / wall-clock reads in deterministic paths
+REP-EXC    broad except handlers must not swallow errors silently
+REP-GRAD   ``repro.serve`` never trains (no backward/optimizers)
+REP-CYC    the ``src/repro`` import graph stays acyclic
+REP-NET    no hardcoded TCP ports (bind 0 or a ``*_PORT`` constant)
+REP-DRIFT  wire codes / ops / metric names match their docs tables
+REP-DOC    markdown links and anchors resolve
+========== =============================================================
+
+Usage::
+
+    python -m repro.lint --strict          # the CI gate
+    run_lint(repo_root) == []              # the tier-1 test
+
+Importing this package registers every built-in checker.
+"""
+
+from repro.lint import checkers, docs, drift, graph  # noqa: F401 — register
+from repro.lint.cli import main
+from repro.lint.core import (
+    Checker,
+    Finding,
+    LintContext,
+    all_checkers,
+    known_codes,
+    load_baseline,
+    register,
+    run_lint,
+    split_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintContext",
+    "all_checkers",
+    "known_codes",
+    "load_baseline",
+    "main",
+    "register",
+    "run_lint",
+    "split_baseline",
+    "write_baseline",
+]

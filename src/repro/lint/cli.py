@@ -1,0 +1,179 @@
+"""``python -m repro.lint`` — run the invariant linter from the shell.
+
+Exit codes: ``0`` clean (every finding baselined), ``1`` findings (or, with
+``--strict``, stale baseline entries), ``2`` usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.lint.core import (
+    Finding,
+    all_checkers,
+    load_baseline,
+    run_lint,
+    split_baseline,
+    write_baseline,
+)
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant linter for this repository "
+        "(see docs/lint.md)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root to lint (default: auto-detect from cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated checker codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file — report every finding",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally fail when the baseline has stale entries",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered checkers and exit"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    return parser
+
+
+def _detect_root(start: str) -> str:
+    """Walk up from ``start`` to the first directory with a src/repro tree."""
+    probe = os.path.abspath(start)
+    while True:
+        if os.path.isdir(os.path.join(probe, "src", "repro")):
+            return probe
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            return os.path.abspath(start)
+        probe = parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+
+    if args.list:
+        for checker in all_checkers():
+            print(f"{checker.code:10s} {checker.name}: {checker.description}")
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else _detect_root(os.getcwd())
+    if not os.path.isdir(root):
+        print(f"error: root {root!r} is not a directory", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = {code.strip() for code in args.select.split(",") if code.strip()}
+        known = {checker.code for checker in all_checkers()}
+        unknown = sorted(select - known - {"REP-PRAGMA", "REP-AST"})
+        if unknown:
+            print(f"error: unknown checker code(s): {unknown}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = run_lint(root, select=select)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline: list[tuple[str, str, str]] = []
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as error:
+            print(f"error: bad baseline {baseline_path}: {error}", file=sys.stderr)
+            return 2
+    new, grandfathered, stale = split_baseline(findings, baseline)
+
+    if args.json:
+        print(json.dumps(_json_payload(root, new, grandfathered, stale), indent=2))
+    else:
+        _print_human(new, grandfathered, stale, strict=args.strict)
+
+    if new or (args.strict and stale):
+        return 1
+    return 0
+
+
+def _json_payload(
+    root: str,
+    new: list[Finding],
+    grandfathered: list[Finding],
+    stale: list[tuple[str, str, str]],
+) -> dict:
+    counts: dict[str, int] = {}
+    for finding in new:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return {
+        "version": 1,
+        "root": root,
+        "findings": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in grandfathered],
+        "stale_baseline": [
+            {"file": file, "code": code, "message": message}
+            for file, code, message in stale
+        ],
+        "counts": dict(sorted(counts.items())),
+    }
+
+
+def _print_human(
+    new: list[Finding],
+    grandfathered: list[Finding],
+    stale: list[tuple[str, str, str]],
+    strict: bool,
+) -> None:
+    for finding in new:
+        print(finding.render())
+    if strict:
+        for file, code, message in stale:
+            print(f"{file}: stale baseline entry ({code} {message!r})")
+    if new:
+        summary = f"{len(new)} finding(s)"
+        if grandfathered:
+            summary += f" ({len(grandfathered)} more baselined)"
+        print(summary)
+    else:
+        extra = f", {len(grandfathered)} baselined" if grandfathered else ""
+        stale_note = (
+            f", {len(stale)} stale baseline entr(y/ies)" if strict and stale else ""
+        )
+        print(f"OK: no new findings{extra}{stale_note}")

@@ -1,0 +1,450 @@
+"""Framework core of :mod:`repro.lint` — the repo's invariant linter.
+
+The architecture contract in ``docs/architecture.md`` is prose; this package
+makes the mechanically-checkable parts of it *machine-enforced*.  The model:
+
+* a :class:`Finding` is one violation — ``(file, line, code, message)``;
+* a :class:`Checker` inspects a :class:`LintContext` (every Python and
+  markdown file of the repo, parsed once) and yields findings;
+* checkers self-register via :func:`register` and run in code order, so the
+  output is deterministic byte-for-byte for a given tree;
+* an inline pragma ``# lint: disable=CODE(reason)`` suppresses one code on
+  one line — the justification text is **required** (an empty or missing
+  reason is itself a finding, ``REP-PRAGMA``);
+* a committed *baseline* file can grandfather known findings so the CI gate
+  (``python -m repro.lint --strict``) only fails on regressions.  This
+  repo's baseline starts — and should stay — empty.
+
+Nothing here imports numpy: the linter is pure stdlib (``ast`` +
+``tokenize``) so the CI lint job runs in seconds on a bare interpreter.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintContext",
+    "PyFile",
+    "all_checkers",
+    "known_codes",
+    "load_baseline",
+    "register",
+    "run_lint",
+    "split_baseline",
+]
+
+#: Directories never scanned (caches, VCS internals).
+EXCLUDED_DIR_NAMES = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    "node_modules",
+    ".venv",
+    "results",
+}
+
+#: Relative path prefixes excluded from repo-wide runs.  The lint test
+#: fixtures *deliberately* violate every invariant; they are linted
+#: explicitly by ``tests/lint/`` with these mini-repos as the root.
+EXCLUDED_PREFIXES = ("tests/lint/fixtures/",)
+
+#: Code emitted by the framework itself for malformed/unjustified pragmas.
+PRAGMA_CODE = "REP-PRAGMA"
+
+#: Code emitted when a Python file cannot be parsed at all.
+SYNTAX_CODE = "REP-AST"
+
+_PRAGMA_RE = re.compile(r"lint:\s*disable=(?P<items>.+)$")
+_PRAGMA_CODE_RE = re.compile(r"[A-Z][A-Z0-9]*(?:-[A-Z0-9]+)*")
+
+
+def _parse_pragma_items(items: str) -> list[tuple[str, str | None]]:
+    """Parse ``CODE(reason), CODE2(reason2)`` → ``[(code, reason|None)]``.
+
+    Reasons may contain parentheses (``signature()``); the reason runs to
+    the *matching* close paren, so a simple regex will not do.
+    """
+    parsed: list[tuple[str, str | None]] = []
+    pos = 0
+    while pos < len(items):
+        match = _PRAGMA_CODE_RE.match(items, pos)
+        if match is None:
+            break
+        code = match.group(0)
+        pos = match.end()
+        while pos < len(items) and items[pos] == " ":
+            pos += 1
+        reason: str | None = None
+        if pos < len(items) and items[pos] == "(":
+            depth, start = 1, pos + 1
+            pos += 1
+            while pos < len(items) and depth:
+                if items[pos] == "(":
+                    depth += 1
+                elif items[pos] == ")":
+                    depth -= 1
+                pos += 1
+            reason = items[start : pos - 1].strip()
+        parsed.append((code, reason))
+        while pos < len(items) and items[pos] in " ,":
+            pos += 1
+    return parsed
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at one location.
+
+    Ordering is the canonical output order: ``(file, line, code, message)``.
+    Baseline identity deliberately ignores ``line`` (see :func:`split_baseline`)
+    so unrelated edits shifting a grandfathered finding by a few lines do not
+    break the gate.
+    """
+
+    file: str  #: path relative to the lint root, ``/``-separated
+    line: int  #: 1-based line number
+    code: str  #: checker code, e.g. ``REP-EXC``
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.file, self.code, self.message)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.code} {self.message}"
+
+
+class PyFile:
+    """One parsed Python source file (AST + pragma table, computed once)."""
+
+    def __init__(self, root: str, relpath: str) -> None:
+        self.relpath = relpath
+        self.path = os.path.join(root, relpath.replace("/", os.sep))
+        with open(self.path, encoding="utf-8") as handle:
+            self.source = handle.read()
+        self._tree: ast.AST | None = None
+        self._tree_error: Finding | None = None
+        self._pragmas: dict[int, dict[str, str]] | None = None
+        self._pragma_problems: list[Finding] | None = None
+
+    @property
+    def tree(self) -> ast.AST | None:
+        """The parsed module, or ``None`` when the file has a syntax error
+        (reported once as a :data:`SYNTAX_CODE` finding)."""
+        if self._tree is None and self._tree_error is None:
+            try:
+                self._tree = ast.parse(self.source, filename=self.relpath)
+            except SyntaxError as error:
+                self._tree_error = Finding(
+                    self.relpath,
+                    int(error.lineno or 1),
+                    SYNTAX_CODE,
+                    f"file does not parse: {error.msg}",
+                )
+        return self._tree
+
+    @property
+    def syntax_finding(self) -> Finding | None:
+        self.tree  # noqa: B018 — force the parse attempt
+        return self._tree_error
+
+    def _scan_pragmas(self) -> None:
+        """Extract ``# lint: disable=CODE(reason)`` comments via tokenize.
+
+        Using the tokenizer (not a regex over raw lines) means a pragma-shaped
+        substring inside a string literal can never suppress anything.
+        """
+        pragmas: dict[int, dict[str, str]] = {}
+        problems: list[Finding] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            comments = []  # the syntax finding already covers this file
+        for line, comment in comments:
+            match = _PRAGMA_RE.search(comment)
+            if match is None:
+                continue
+            items = match.group("items").strip()
+            consumed = 0
+            for code, reason in _parse_pragma_items(items):
+                consumed += 1
+                reason = (reason or "").strip()
+                if code not in known_codes():
+                    problems.append(
+                        Finding(
+                            self.relpath,
+                            line,
+                            PRAGMA_CODE,
+                            f"pragma disables unknown code {code!r}",
+                        )
+                    )
+                    continue
+                if not reason:
+                    problems.append(
+                        Finding(
+                            self.relpath,
+                            line,
+                            PRAGMA_CODE,
+                            f"pragma for {code} lacks a justification — "
+                            f"write # lint: disable={code}(why this is safe)",
+                        )
+                    )
+                    continue
+                pragmas.setdefault(line, {})[code] = reason
+            if consumed == 0:
+                problems.append(
+                    Finding(
+                        self.relpath,
+                        line,
+                        PRAGMA_CODE,
+                        "malformed lint pragma (expected "
+                        "# lint: disable=CODE(reason))",
+                    )
+                )
+        self._pragmas = pragmas
+        self._pragma_problems = problems
+
+    @property
+    def pragmas(self) -> dict[int, dict[str, str]]:
+        if self._pragmas is None:
+            self._scan_pragmas()
+        assert self._pragmas is not None
+        return self._pragmas
+
+    @property
+    def pragma_problems(self) -> list[Finding]:
+        if self._pragma_problems is None:
+            self._scan_pragmas()
+        assert self._pragma_problems is not None
+        return self._pragma_problems
+
+
+class LintContext:
+    """Everything a checker may look at: the file tree, parsed once."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        py: list[str] = []
+        md: list[str] = []
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if d not in EXCLUDED_DIR_NAMES and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                rel = os.path.relpath(
+                    os.path.join(dirpath, filename), self.root
+                ).replace(os.sep, "/")
+                if rel.startswith(EXCLUDED_PREFIXES):
+                    continue
+                if filename.endswith(".py"):
+                    py.append(rel)
+                elif filename.lower().endswith(".md"):
+                    md.append(rel)
+        self.py_paths = py
+        self.md_paths = md
+        self._py_files: dict[str, PyFile] = {}
+        self._md_text: dict[str, str] = {}
+
+    def py_file(self, relpath: str) -> PyFile:
+        if relpath not in self._py_files:
+            self._py_files[relpath] = PyFile(self.root, relpath)
+        return self._py_files[relpath]
+
+    def py_files(self) -> list[PyFile]:
+        return [self.py_file(rel) for rel in self.py_paths]
+
+    def md_text(self, relpath: str) -> str:
+        if relpath not in self._md_text:
+            path = os.path.join(self.root, relpath.replace("/", os.sep))
+            with open(path, encoding="utf-8") as handle:
+                self._md_text[relpath] = handle.read()
+        return self._md_text[relpath]
+
+    def has_file(self, relpath: str) -> bool:
+        return os.path.exists(
+            os.path.join(self.root, relpath.replace("/", os.sep))
+        )
+
+
+class Checker:
+    """Base class for one invariant checker.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`description` and
+    implement :meth:`check`.  Register with the :func:`register` decorator;
+    registration order does not matter — checkers run sorted by code.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> list[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Checker] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker (by its unique ``code``) to the
+    registry the runner iterates."""
+    if not cls.code:
+        raise ValueError(f"{cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate checker code {cls.code!r}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def known_codes() -> frozenset[str]:
+    return frozenset(_REGISTRY) | {PRAGMA_CODE, SYNTAX_CODE}
+
+
+def run_lint(
+    root: str, select: set[str] | frozenset[str] | None = None
+) -> list[Finding]:
+    """Lint ``root`` and return the sorted findings that survive pragmas.
+
+    ``select`` restricts to a subset of codes; the framework's own
+    :data:`PRAGMA_CODE` / :data:`SYNTAX_CODE` findings obey it too (a
+    malformed pragma never *suppresses* anything, so filtering it out
+    cannot hide a selected finding).  The repo-wide tier-1 gate is simply
+    ``run_lint(repo_root) == []``.
+    """
+    ctx = LintContext(root)
+    raw: list[Finding] = []
+    for pyfile in ctx.py_files():
+        if pyfile.syntax_finding is not None:
+            raw.append(pyfile.syntax_finding)
+        raw.extend(pyfile.pragma_problems)
+    for checker in all_checkers():
+        if select is not None and checker.code not in select:
+            continue
+        raw.extend(checker.check(ctx))
+    findings = []
+    for finding in raw:
+        if select is not None and finding.code not in select:
+            continue
+        if finding.code in (PRAGMA_CODE, SYNTAX_CODE):
+            findings.append(finding)
+            continue
+        pyfile = (
+            ctx.py_file(finding.file) if finding.file.endswith(".py") else None
+        )
+        if pyfile is not None and finding.code in pyfile.pragmas.get(
+            finding.line, {}
+        ):
+            continue
+        findings.append(finding)
+    return sorted(set(findings))
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def load_baseline(path: str) -> list[tuple[str, str, str]]:
+    """Read a baseline file → list of ``(file, code, message)`` keys.
+
+    Schema: ``{"version": 1, "findings": [{"file", "code", "message"}]}``.
+    A missing file is an empty baseline.
+    """
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise ValueError(f"{path}: not a version-1 lint baseline")
+    keys = []
+    for entry in payload.get("findings", []):
+        keys.append((entry["file"], entry["code"], entry["message"]))
+    return keys
+
+
+def split_baseline(
+    findings: list[Finding], baseline: list[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+    """Partition findings against a baseline.
+
+    Returns ``(new, grandfathered, stale)``: findings not in the baseline,
+    findings the baseline covers, and baseline entries that no longer match
+    anything (with ``--strict`` a stale entry fails the run, keeping the
+    committed baseline honest).
+    """
+    keys = {f.baseline_key() for f in findings}
+    covered = set(baseline)
+    new = [f for f in findings if f.baseline_key() not in covered]
+    grandfathered = [f for f in findings if f.baseline_key() in covered]
+    stale = sorted(set(baseline) - keys)
+    return new, grandfathered, stale
+
+
+def write_baseline(path: str, findings: list[Finding]) -> None:
+    payload = {
+        "version": 1,
+        "findings": [
+            {"file": f.file, "code": f.code, "message": f.message}
+            for f in sorted(set(findings))
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers (used by several checkers)
+# ----------------------------------------------------------------------
+
+def dotted_chain(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` → ``("a", "b", "c")``; ``None`` for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def module_str_constants(tree: ast.AST) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments of one file."""
+    constants: dict[str, str] = {}
+    for node in ast.iter_child_nodes(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            constants[node.targets[0].id] = node.value.value
+    return constants

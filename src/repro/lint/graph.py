@@ -1,0 +1,168 @@
+"""REP-CYC — import-cycle detection over the ``src/repro`` module graph.
+
+PR 3 had to untangle a ``repro.sim`` ↔ ``repro.data`` import cycle by hand;
+this checker makes the acyclicity of the module graph a standing invariant.
+
+Resolution rule (documented in docs/lint.md): an ``from pkg import name``
+edge points at the **deepest module that exists** — ``from repro.serve
+import protocol`` is an edge to ``repro.serve.protocol`` (the submodule),
+not to the ``repro.serve`` package ``__init__``.  Python's import machinery
+resolves exactly this way once the package is initialized, and modelling
+the package fallback instead would report every re-exporting ``__init__``
+as a cycle with its own submodules.  Function-local imports still create
+edges: a cycle that only works because of import *timing* is fragile and
+worth surfacing (the PR 3 bug was exactly that).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import Checker, Finding, LintContext, register
+
+
+def module_name(relpath: str) -> str | None:
+    """``src/repro/serve/server.py`` → ``repro.serve.server``;
+    package ``__init__`` files map to the package name."""
+    if not relpath.startswith("src/") or not relpath.endswith(".py"):
+        return None
+    parts = relpath[len("src/") : -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+def build_import_graph(
+    ctx: LintContext,
+) -> tuple[dict[str, str], dict[str, dict[str, int]]]:
+    """Return ``(module → relpath, module → {imported module → line})``."""
+    modules: dict[str, str] = {}
+    for relpath in ctx.py_paths:
+        name = module_name(relpath)
+        if name:
+            modules[name] = relpath
+
+    def resolve(candidate: str) -> str | None:
+        """Deepest known module that is ``candidate`` or a prefix of it."""
+        parts = candidate.split(".")
+        while parts:
+            name = ".".join(parts)
+            if name in modules:
+                return name
+            parts.pop()
+        return None
+
+    edges: dict[str, dict[str, int]] = {name: {} for name in modules}
+    for name, relpath in modules.items():
+        tree = ctx.py_file(relpath).tree
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    base = node.module or ""
+                else:
+                    # Relative import: drop ``level`` trailing segments from
+                    # the *package* path of the importing module.
+                    pkg = name.split(".")
+                    if ctx.py_file(relpath).relpath.endswith("__init__.py"):
+                        pkg = pkg + ["__init__"]  # placeholder popped below
+                    pkg = pkg[: len(pkg) - node.level]
+                    base = ".".join(pkg + ([node.module] if node.module else []))
+                targets = [
+                    f"{base}.{alias.name}" if base else alias.name
+                    for alias in node.names
+                ]
+            for target in targets:
+                resolved = resolve(target)
+                if resolved and resolved != name and resolved not in edges[name]:
+                    edges[name][resolved] = node.lineno
+    return modules, edges
+
+
+def strongly_connected(edges: dict[str, dict[str, int]]) -> list[list[str]]:
+    """Tarjan SCCs (iterative), components returned sorted for determinism."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for root in sorted(edges):
+        if root in index:
+            continue
+        work: list[tuple[str, iter]] = [(root, iter(sorted(edges[root])))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+    return sorted(sccs)
+
+
+@register
+class ImportCycleChecker(Checker):
+    code = "REP-CYC"
+    name = "import-cycles"
+    description = "the src/repro module import graph must stay acyclic"
+
+    def check(self, ctx: LintContext) -> list[Finding]:
+        modules, edges = build_import_graph(ctx)
+        findings: list[Finding] = []
+        for component in strongly_connected(edges):
+            if len(component) == 1:
+                only = component[0]
+                if only not in edges[only]:
+                    continue  # trivial SCC, no self-import
+            first = component[0]
+            # Anchor the finding at the first member's import into the cycle.
+            line = min(
+                (
+                    edges[first][succ]
+                    for succ in edges[first]
+                    if succ in component
+                ),
+                default=1,
+            )
+            cycle = " -> ".join(component + [first])
+            findings.append(
+                Finding(
+                    modules[first],
+                    line,
+                    self.code,
+                    f"import cycle: {cycle}",
+                )
+            )
+        return findings

@@ -82,11 +82,17 @@ from repro.serve.workers import WorkerPool, WorkerSpec
 __all__ = [
     "AsyncServingServer",
     "CircuitBreaker",
+    "DEFAULT_PORT",
     "OverloadedError",
     "Router",
     "ServerThread",
     "UnavailableError",
 ]
+
+#: Default TCP port of the ``python -m repro.serve.server`` CLI — the one
+#: designated hardcoded port of the repo (REP-NET); everything else binds
+#: port 0 and discovers the ephemeral port.
+DEFAULT_PORT = 8707
 
 
 class OverloadedError(RuntimeError):
@@ -1563,7 +1569,7 @@ def main(argv: list[str] | None = None) -> None:
         help="model name (repeatable); NAME or NAME:VERSION",
     )
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=8707)
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
     parser.add_argument(
         "--replicas",
         type=int,

@@ -365,7 +365,7 @@ def _watch_stdin() -> None:
     try:
         while sys.stdin.buffer.read(4096):
             pass
-    except Exception:  # noqa: BLE001 — any stdin failure means the parent is gone
+    except Exception:  # lint: disable=REP-EXC(parent is gone — nowhere to report; the next line exits the process)
         pass
     os._exit(0)
 

@@ -1,0 +1,8 @@
+"""Keep pytest out of the fixture mini-repos.
+
+The files under ``fixtures/`` deliberately violate repo invariants (some
+mimic test modules, one has a syntax error) — they are lint *inputs*, not
+tests, and must never be collected.
+"""
+
+collect_ignore = ["fixtures"]

@@ -1,0 +1,1 @@
+from repro.pkg import two

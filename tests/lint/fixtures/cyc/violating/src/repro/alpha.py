@@ -1,0 +1,1 @@
+import repro.beta

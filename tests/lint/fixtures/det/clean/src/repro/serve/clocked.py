@@ -1,0 +1,6 @@
+"""Wall-clock reads are fine outside signature-relevant modules."""
+import time
+
+
+def latency():
+    return time.perf_counter()

@@ -1,0 +1,9 @@
+import numpy as np
+
+
+def sample(rng, n):
+    return rng.normal(size=n)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

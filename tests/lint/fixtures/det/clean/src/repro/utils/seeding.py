@@ -1,0 +1,9 @@
+"""The one module allowed to touch global RNG state."""
+import random
+
+import numpy as np
+
+
+def seed_everything(seed):
+    random.seed(seed)
+    np.random.seed(seed % (2**32))

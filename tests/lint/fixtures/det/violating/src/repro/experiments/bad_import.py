@@ -1,0 +1,7 @@
+from random import shuffle
+from time import perf_counter
+
+
+def run(xs):
+    shuffle(xs)
+    return perf_counter()

@@ -1,0 +1,11 @@
+"""Violates REP-DET three ways."""
+import random
+import time
+
+import numpy as np
+
+
+def sample(n):
+    noise = np.random.rand(n)        # line 9: module-level numpy RNG
+    random.shuffle(list(noise))      # line 10: global stdlib RNG
+    return time.time()               # line 11: wall-clock in sim

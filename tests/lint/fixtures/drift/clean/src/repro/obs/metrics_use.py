@@ -1,0 +1,6 @@
+METRIC = "serve_latency_seconds"
+
+
+def instrument(registry):
+    registry.counter("serve_requests").inc()
+    registry.histogram(METRIC).record(0.1)

@@ -1,0 +1,4 @@
+E_BAD_REQUEST = "bad_request"
+
+OPERATIONS = ("predict",)
+WORKER_OPERATIONS = ("worker_chunk",)

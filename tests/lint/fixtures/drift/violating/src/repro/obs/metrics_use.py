@@ -1,0 +1,2 @@
+def instrument(registry):
+    registry.counter("serve_ghost_requests").inc()

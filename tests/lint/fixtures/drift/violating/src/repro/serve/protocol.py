@@ -1,0 +1,4 @@
+E_BAD_REQUEST = "bad_request"
+E_MYSTERY = "mystery_error"
+
+OPERATIONS = ("predict", "mystery_op")

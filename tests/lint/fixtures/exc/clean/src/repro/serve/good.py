@@ -1,0 +1,40 @@
+log = None
+
+
+def reraises():
+    try:
+        risky()
+    except BaseException:
+        raise
+
+
+def logs():
+    try:
+        risky()
+    except Exception as error:
+        log.warning("flush_error", error=str(error))
+
+
+def counts(stats):
+    try:
+        risky()
+    except Exception:
+        stats.errors += 1
+
+
+def records(errors):
+    try:
+        risky()
+    except BaseException as error:
+        errors.append(error)
+
+
+def narrow_is_fine():
+    try:
+        risky()
+    except ValueError:
+        pass
+
+
+def risky():
+    raise RuntimeError

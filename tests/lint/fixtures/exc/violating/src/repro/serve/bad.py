@@ -1,0 +1,24 @@
+def swallow_pass():
+    try:
+        risky()
+    except Exception:
+        pass
+
+
+def swallow_bare():
+    try:
+        risky()
+    except:
+        return None
+
+
+def swallow_base(xs):
+    for x in xs:
+        try:
+            risky(x)
+        except BaseException:
+            x = 0
+
+
+def risky(x=None):
+    raise RuntimeError(x)

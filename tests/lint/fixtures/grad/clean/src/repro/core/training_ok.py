@@ -1,0 +1,8 @@
+"""Training code outside repro.serve is exempt from REP-GRAD."""
+from repro.nn import Adam
+
+
+def fit(model, loss):
+    loss.backward()
+    opt = Adam(model.parameters())
+    opt.zero_grad()

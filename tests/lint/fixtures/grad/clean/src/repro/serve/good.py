@@ -1,0 +1,6 @@
+from repro.nn import Tensor, inference_mode
+
+
+def predict(model, batch):
+    with inference_mode(model):
+        return model.forward(batch)

@@ -1,0 +1,11 @@
+import repro.nn.optim
+from repro.core.trainer import Trainer
+from repro.nn import Adam
+
+
+def fit(model, loss, param):
+    loss.backward()
+    opt = Adam(model.parameters())
+    opt.zero_grad()
+    param.requires_grad = True
+    return model.forward(x=1, requires_grad=True)

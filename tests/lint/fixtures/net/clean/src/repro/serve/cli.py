@@ -1,0 +1,5 @@
+DEFAULT_PORT = 8707  # the designated constant
+
+
+def build(parser):
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)

@@ -1,0 +1,9 @@
+import socket
+
+
+def connect(port):
+    return socket.create_connection(("127.0.0.1", port))
+
+
+def serve(server):
+    server.bind(port=0)

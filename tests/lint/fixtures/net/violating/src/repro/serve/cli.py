@@ -1,0 +1,7 @@
+def build(parser):
+    parser.add_argument("--port", type=int, default=9999)
+
+
+def run(app):
+    port = 8501
+    app.listen(port)

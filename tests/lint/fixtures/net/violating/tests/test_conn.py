@@ -1,0 +1,12 @@
+import socket
+
+
+def connect():
+    return socket.create_connection(("127.0.0.1", 9000))
+
+
+def serve(server):
+    server.bind(port=8080)
+
+
+PROXY_PORT = 4000

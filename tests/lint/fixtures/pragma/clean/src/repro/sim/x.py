@@ -1,0 +1,11 @@
+import numpy as np
+import time
+
+
+def sample(n):
+    return np.random.rand(n)  # lint: disable=REP-DET(fixture: justified suppression keeps this silent)
+
+
+def stamp():
+    # Reasons may contain parentheses, e.g. signature() exclusions.
+    return time.time()  # lint: disable=REP-DET(meta only; signature() excludes wall-clock (see docs))

@@ -1,0 +1,5 @@
+import numpy as np
+
+
+def sample(n):
+    return np.random.rand(n)  # lint: disable=NOT-A-CODE(made up)

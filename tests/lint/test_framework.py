@@ -1,0 +1,224 @@
+"""Framework semantics: pragmas, baseline, ordering, JSON output, exit codes.
+
+Uses the ``pragma`` fixture pair plus small throwaway repos built in tmp_path
+so the CLI contract (exit 0/1/2, ``--write-baseline`` round trip, ``--strict``
+stale-entry failure) is pinned independently of the real tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import Finding, load_baseline, run_lint, split_baseline, write_baseline
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _make_repo(tmp_path: Path, body: str) -> Path:
+    """A one-file repo whose src/repro/sim module contains ``body``."""
+    root = tmp_path / "repo"
+    mod = root / "src" / "repro" / "sim"
+    mod.mkdir(parents=True)
+    (root / "src" / "repro" / "__init__.py").write_text("")
+    (mod / "__init__.py").write_text("")
+    (mod / "mod.py").write_text(body)
+    return root
+
+
+# ---------------------------------------------------------------- pragmas
+
+
+class TestPragmas:
+    def test_justified_pragma_suppresses(self):
+        findings = run_lint(str(FIXTURES / "pragma" / "clean"))
+        assert findings == []
+
+    def test_missing_reason_and_unknown_code_are_flagged(self):
+        findings = run_lint(str(FIXTURES / "pragma" / "violating"))
+        by_code = {}
+        for finding in findings:
+            by_code.setdefault(finding.code, []).append(finding)
+        # A reasonless pragma does NOT suppress: the REP-DET finding
+        # survives alongside the REP-PRAGMA complaint.
+        assert len(by_code["REP-DET"]) == 2
+        assert len(by_code["REP-PRAGMA"]) == 2
+        messages = " | ".join(f.message for f in by_code["REP-PRAGMA"])
+        assert "justification" in messages
+        assert "NOT-A-CODE" in messages
+
+    def test_pragma_reason_may_contain_parentheses(self, tmp_path):
+        root = _make_repo(
+            tmp_path,
+            "import numpy as np\n"
+            "x = np.random.rand()  "
+            "# lint: disable=REP-DET(seed comes from cfg.seed() upstream)\n",
+        )
+        assert run_lint(str(root)) == []
+
+    def test_pragma_in_string_literal_is_inert(self, tmp_path):
+        # Only real COMMENT tokens count — a string that merely contains the
+        # pragma text must neither suppress nor be validated.
+        root = _make_repo(
+            tmp_path,
+            "import numpy as np\n"
+            's = "lint: disable=REP-DET(not a comment)"\n'
+            "x = np.random.rand()\n",
+        )
+        findings = run_lint(str(root))
+        assert [f.code for f in findings] == ["REP-DET"]
+
+    def test_syntax_error_reported_as_rep_ast(self, tmp_path):
+        root = _make_repo(tmp_path, "def broken(:\n")
+        findings = run_lint(str(root))
+        assert [f.code for f in findings] == ["REP-AST"]
+
+
+# ---------------------------------------------------------------- baseline
+
+
+class TestBaseline:
+    def _findings(self):
+        return run_lint(str(FIXTURES / "exc" / "violating"))
+
+    def test_round_trip_and_split(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), findings)
+        baseline = load_baseline(str(path))
+        assert len(baseline) == len(findings)
+        new, grandfathered, stale = split_baseline(findings, baseline)
+        assert new == [] and stale == []
+        assert grandfathered == findings
+
+    def test_baseline_ignores_line_drift(self):
+        findings = self._findings()
+        # Simulate the file shifting by 100 lines: same (file, code,
+        # message) key still matches.
+        drifted = [
+            Finding(f.file, f.line + 100, f.code, f.message) for f in findings
+        ]
+        baseline = [f.baseline_key() for f in findings]
+        new, grandfathered, stale = split_baseline(drifted, baseline)
+        assert new == [] and stale == [] and len(grandfathered) == len(findings)
+
+    def test_stale_entries_detected(self):
+        findings = self._findings()
+        ghost = ("src/repro/serve/gone.py", "REP-EXC", "no longer exists")
+        baseline = [findings[0].baseline_key(), ghost]
+        new, grandfathered, stale = split_baseline(findings, baseline)
+        assert stale == [ghost]
+        assert grandfathered == [findings[0]]
+        assert len(new) == len(findings) - 1
+
+    def test_bad_baseline_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        try:
+            load_baseline(str(path))
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError on unknown version")
+
+
+# ---------------------------------------------------------------- ordering
+
+
+def test_findings_are_sorted_and_deduplicated():
+    findings = run_lint(str(FIXTURES / "net" / "violating"))
+    keys = [(f.file, f.line, f.code, f.message) for f in findings]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))
+
+
+def test_repeated_runs_are_deterministic():
+    a = run_lint(str(FIXTURES / "drift" / "violating"))
+    b = run_lint(str(FIXTURES / "drift" / "violating"))
+    assert a == b
+
+
+# ---------------------------------------------------------------- CLI
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, capsys):
+        rc = main(["--root", str(FIXTURES / "exc" / "clean"), "--no-baseline"])
+        assert rc == 0
+        assert "OK: no new findings" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, capsys):
+        rc = main(["--root", str(FIXTURES / "exc" / "violating"), "--no-baseline"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REP-EXC" in out and "3 finding(s)" in out
+
+    def test_exit_two_on_unknown_code(self, capsys):
+        rc = main(["--root", str(FIXTURES / "exc" / "clean"), "--select", "BOGUS"])
+        assert rc == 2
+        assert "unknown checker code" in capsys.readouterr().err
+
+    def test_exit_two_on_missing_root(self, capsys):
+        rc = main(["--root", "/nonexistent/nowhere"])
+        assert rc == 2
+
+    def test_json_output_schema(self, capsys):
+        rc = main(
+            [
+                "--root",
+                str(FIXTURES / "exc" / "violating"),
+                "--no-baseline",
+                "--json",
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["counts"] == {"REP-EXC": 3}
+        assert payload["baselined"] == [] and payload["stale_baseline"] == []
+        for finding in payload["findings"]:
+            assert set(finding) == {"file", "line", "code", "message"}
+            assert finding["code"] == "REP-EXC"
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        root = str(FIXTURES / "exc" / "violating")
+        baseline = str(tmp_path / "bl.json")
+        assert main(["--root", root, "--baseline", baseline, "--write-baseline"]) == 0
+        capsys.readouterr()
+        # Every finding is now grandfathered: lint passes, strict included.
+        assert main(["--root", root, "--baseline", baseline, "--strict"]) == 0
+        assert "3 baselined" in capsys.readouterr().out
+
+    def test_strict_fails_on_stale_baseline(self, tmp_path, capsys):
+        root = str(FIXTURES / "exc" / "clean")
+        baseline = tmp_path / "bl.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {"file": "gone.py", "code": "REP-EXC", "message": "x"}
+                    ],
+                }
+            )
+        )
+        # Non-strict tolerates staleness; strict turns it into a failure.
+        assert main(["--root", root, "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["--root", root, "--baseline", str(baseline), "--strict"]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_list_checkers(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for code in (
+            "REP-DET",
+            "REP-EXC",
+            "REP-GRAD",
+            "REP-CYC",
+            "REP-NET",
+            "REP-DRIFT",
+            "REP-DOC",
+        ):
+            assert code in out

@@ -16,7 +16,6 @@ child so service recovers without operator action.
 from __future__ import annotations
 
 import os
-import re
 import signal
 import threading
 import time
@@ -25,6 +24,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.lint import run_lint
 from repro.serve import (
     AsyncServingServer,
     PredictRequest,
@@ -483,25 +483,9 @@ class TestServerLifecycle:
 
 
 # ----------------------------------------------------------------------
-# Satellite guard: serving tests/benchmarks must bind port 0 only
+# Satellite guard: no hardcoded TCP ports anywhere (bind port 0 only).
+# The audit itself lives in repro.lint (REP-NET, see docs/lint.md).
 # ----------------------------------------------------------------------
 class TestNoHardcodedPorts:
-    PORT_PATTERN = re.compile(
-        r"""(?:port\s*=\s*|["']127\.0\.0\.1["']\s*,\s*)(\d{2,5})"""
-    )
-
-    def test_serve_tests_and_benchmarks_bind_ephemeral_ports(self):
-        root = Path(__file__).resolve().parents[2]
-        offenders = []
-        for directory in (root / "tests", root / "benchmarks"):
-            for path in sorted(directory.rglob("*.py")):
-                for lineno, line in enumerate(
-                    path.read_text().splitlines(), start=1
-                ):
-                    for match in self.PORT_PATTERN.finditer(line):
-                        if int(match.group(1)) != 0:
-                            offenders.append(f"{path.relative_to(root)}:{lineno}")
-        assert not offenders, (
-            "hardcoded TCP ports found (bind port 0 and discover the "
-            f"ephemeral port instead): {offenders}"
-        )
+    def test_repo_binds_ephemeral_ports_only(self):
+        assert run_lint(str(Path(__file__).resolve().parents[2]), select={"REP-NET"}) == []

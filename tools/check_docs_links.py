@@ -1,149 +1,41 @@
 #!/usr/bin/env python3
-"""Check intra-repo markdown links (stdlib only; the CI docs gate).
+"""Check intra-repo markdown links (the CI docs gate) — thin CLI shim.
 
-Scans every ``*.md`` file in the repository for inline links and images
-(``[text](target)`` / ``![alt](target)``) and fails when a relative target
-does not exist, or when a ``#fragment`` does not match any heading of the
-target document (GitHub-style slugs).  External schemes (``http://``,
-``https://``, ``mailto:``) are skipped — CI must not depend on the network.
-
-Usage::
+The actual checker is ``repro.lint.docs.DocsLinksChecker`` (code
+``REP-DOC``); this script only keeps the historical entry point and output
+contract alive for the CI ``docs`` job and local use:
 
     python tools/check_docs_links.py [repo_root]
 
-Exit status: 0 when every link resolves, 1 otherwise (broken links are
-listed on stdout).
+Exit status: 0 when every link resolves, 1 otherwise (problems listed on
+stdout).  Equivalent to ``python -m repro.lint --select REP-DOC``.
 """
 
 from __future__ import annotations
 
 import os
-import re
 import sys
 
-# Inline markdown link/image: [text](target) — target up to the first
-# unescaped closing paren; titles ("...") after the url are tolerated.
-_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
-_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
-_CODE_FENCE_RE = re.compile(r"^(```|~~~)")
-_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
-_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
 
-
-def github_slug(heading: str) -> str:
-    """GitHub's anchor slug for a heading line.
-
-    Lowercase; code spans/emphasis markers dropped; every space becomes a
-    hyphen; everything that is not alphanumeric, hyphen, or underscore is
-    removed.  (Duplicate-heading ``-1`` suffixes are handled by the caller.)
-    """
-    text = heading.strip().lower()
-    text = re.sub(r"[`*_]", "", text)  # formatting markers
-    text = re.sub(r"[^\w\- ]", "", text)  # punctuation (unicode-aware \w)
-    return text.replace(" ", "-")
-
-
-def extract_anchors(path: str) -> set[str]:
-    """All heading anchors of one markdown file, with duplicate suffixes."""
-    anchors: set[str] = set()
-    counts: dict[str, int] = {}
-    in_fence = False
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            if _CODE_FENCE_RE.match(line):
-                in_fence = not in_fence
-                continue
-            if in_fence:
-                continue
-            match = _HEADING_RE.match(line)
-            if not match:
-                continue
-            slug = github_slug(match.group(2))
-            seen = counts.get(slug, 0)
-            counts[slug] = seen + 1
-            anchors.add(slug if seen == 0 else f"{slug}-{seen}")
-    return anchors
-
-
-def extract_links(path: str) -> list[tuple[int, str]]:
-    """``(line_number, target)`` for every inline link in one file."""
-    links: list[tuple[int, str]] = []
-    in_fence = False
-    with open(path, encoding="utf-8") as fh:
-        for number, line in enumerate(fh, start=1):
-            if _CODE_FENCE_RE.match(line):
-                in_fence = not in_fence
-                continue
-            if in_fence:
-                continue
-            # Drop inline code spans so `[x](y)` inside backticks is ignored.
-            stripped = re.sub(r"`[^`]*`", "", line)
-            for match in _LINK_RE.finditer(stripped):
-                links.append((number, match.group(1)))
-    return links
-
-
-def find_markdown_files(root: str) -> list[str]:
-    found = []
-    for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
-        for filename in filenames:
-            if filename.lower().endswith(".md"):
-                found.append(os.path.join(dirpath, filename))
-    return sorted(found)
-
-
-def check_file(
-    path: str, root: str, anchor_cache: dict[str, set[str]]
-) -> tuple[list[str], int]:
-    """Check one file; returns ``(problems, number_of_links_checked)``."""
-    problems = []
-    links = extract_links(path)
-    for line_number, target in links:
-        if target.startswith(_SKIP_SCHEMES):
-            continue
-        location = f"{os.path.relpath(path, root)}:{line_number}"
-        file_part, _, fragment = target.partition("#")
-        if file_part:
-            resolved = os.path.normpath(
-                os.path.join(os.path.dirname(path), file_part)
-            )
-            if not os.path.exists(resolved):
-                problems.append(f"{location}: broken link -> {target}")
-                continue
-        else:
-            resolved = path  # pure fragment: anchor within this document
-        if fragment and resolved.lower().endswith(".md"):
-            if resolved not in anchor_cache:
-                anchor_cache[resolved] = extract_anchors(resolved)
-            if fragment.lower() not in anchor_cache[resolved]:
-                problems.append(
-                    f"{location}: broken anchor -> {target} "
-                    f"(no heading '#{fragment}' in "
-                    f"{os.path.relpath(resolved, root)})"
-                )
-    return problems, len(links)
+from repro.lint import LintContext, run_lint  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
     root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
-    files = find_markdown_files(root)
-    if not files:
+    ctx = LintContext(root)
+    if not ctx.md_paths:
         print(f"no markdown files found under {root}", file=sys.stderr)
         return 1
-    anchor_cache: dict[str, set[str]] = {}
-    problems = []
-    checked = 0
-    for path in files:
-        file_problems, file_links = check_file(path, root, anchor_cache)
-        problems.extend(file_problems)
-        checked += file_links
-    if problems:
-        print(f"{len(problems)} broken link(s) in {len(files)} file(s):")
-        for problem in problems:
-            print(f"  {problem}")
+    findings = run_lint(root, select={"REP-DOC"})
+    if findings:
+        print(f"{len(findings)} broken link(s):")
+        for finding in findings:
+            print(f"  {finding.file}:{finding.line}: {finding.message}")
         return 1
-    print(f"OK: {checked} links across {len(files)} markdown files")
+    print(f"OK: links across {len(ctx.md_paths)} markdown files all resolve")
     return 0
 
 
